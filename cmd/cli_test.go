@@ -1,0 +1,152 @@
+// Package cmd_test drives the command-line tools end to end through the
+// go toolchain: generate an instance, solve it, and render it — the same
+// pipeline the README documents.
+package cmd_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool executes `go run ./cmd/<tool> args...` from the module root.
+func runTool(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmdArgs := append([]string{"run", "./cmd/" + tool}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = ".." // tests run in cmd/; the module root is one up
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestPipelineGenPlaceViz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	placement := filepath.Join(dir, "placement.json")
+	svg := filepath.Join(dir, "picture.svg")
+
+	runTool(t, "mscgen", "-kind", "rgg", "-n", "50", "-m", "10", "-pt", "0.12",
+		"-k", "3", "-seed", "7", "-out", inst)
+	raw, err := os.ReadFile(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("instance not valid JSON: %v", err)
+	}
+	if doc["nodes"].(float64) != 50 {
+		t.Fatalf("nodes = %v", doc["nodes"])
+	}
+
+	out := runTool(t, "mscplace", "-in", inst, "-alg", "sandwich", "-out", placement)
+	if !strings.Contains(out, "maintained:") || !strings.Contains(out, "shortcut:") {
+		t.Fatalf("mscplace output unexpected:\n%s", out)
+	}
+	praw, err := os.ReadFile(placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pdoc struct {
+		Sigma     int        `json:"maintained_pairs"`
+		Shortcuts [][2]int32 `json:"shortcuts"`
+	}
+	if err := json.Unmarshal(praw, &pdoc); err != nil {
+		t.Fatal(err)
+	}
+	if pdoc.Sigma < 1 || len(pdoc.Shortcuts) == 0 {
+		t.Fatalf("placement trivial: %+v", pdoc)
+	}
+
+	runTool(t, "mscviz", "-in", inst, "-placement", placement, "-out", svg)
+	sraw, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sraw), "<svg") {
+		t.Fatal("mscviz did not produce SVG")
+	}
+
+	ascii := runTool(t, "mscviz", "-in", inst, "-placement", placement, "-ascii")
+	if !strings.Contains(ascii, "legend:") {
+		t.Fatalf("ascii render unexpected:\n%s", ascii)
+	}
+}
+
+func TestMscgenMobilityTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.csv")
+	runTool(t, "mscgen", "-kind", "mobility", "-n", "20", "-steps", "4", "-out", trace)
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(raw)
+	if !strings.HasPrefix(content, "# step_seconds=") {
+		t.Fatalf("trace header missing:\n%.100s", content)
+	}
+	// 20 nodes × 4 steps + header + comment.
+	lines := strings.Count(content, "\n")
+	if lines < 80 {
+		t.Fatalf("trace too short: %d lines", lines)
+	}
+}
+
+func TestMscbenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out := runTool(t, "mscbench", "-exp", "table1", "-quick")
+	if !strings.Contains(out, "Table I") {
+		t.Fatalf("mscbench output unexpected:\n%s", out)
+	}
+	csv := runTool(t, "mscbench", "-exp", "fig5b", "-quick", "-csv")
+	if !strings.Contains(csv, "T,") {
+		t.Fatalf("csv output unexpected:\n%s", csv)
+	}
+}
+
+func TestMscplaceAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	runTool(t, "mscgen", "-kind", "rgg", "-n", "40", "-m", "8", "-pt", "0.12",
+		"-k", "2", "-seed", "3", "-out", inst)
+	for _, alg := range []string{"greedy", "mu", "nu", "ea", "aea", "random"} {
+		out := runTool(t, "mscplace", "-in", inst, "-alg", alg, "-iters", "50")
+		if !strings.Contains(out, "maintained:") {
+			t.Fatalf("alg %s output unexpected:\n%s", alg, out)
+		}
+	}
+}
+
+func TestMscsimPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	placement := filepath.Join(dir, "placement.json")
+	runTool(t, "mscgen", "-kind", "rgg", "-n", "40", "-m", "8", "-pt", "0.12",
+		"-k", "2", "-seed", "9", "-out", inst)
+	runTool(t, "mscplace", "-in", inst, "-alg", "sandwich", "-out", placement,
+		"-report", "-refine")
+	out := runTool(t, "mscsim", "-in", inst, "-placement", placement, "-trials", "500")
+	if !strings.Contains(out, "best-path") || !strings.Contains(out, "maintained:") {
+		t.Fatalf("mscsim output unexpected:\n%s", out)
+	}
+}

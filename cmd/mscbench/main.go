@@ -1,0 +1,144 @@
+// Command mscbench regenerates the tables and figures of the paper's
+// evaluation (§VII) and prints them as aligned text (or CSV).
+//
+// Usage:
+//
+//	mscbench -exp table1              # Table I on the RG graph
+//	mscbench -exp all -seed 7         # everything, custom seed
+//	mscbench -exp fig3 -csv           # Fig. 3 series as CSV
+//	mscbench -exp fig1 -svg out/      # also write Fig. 1 SVG renderings
+//	mscbench -exp fig5a -quick        # reduced-scale smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"msc/internal/experiments"
+	"msc/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mscbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "all", "experiment id: table1|table2|fig1|fig2|fig3|fig4|fig5a|fig5b|ext1|ext2|ext3|ext4|all")
+		seed  = flag.Int64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
+		quick = flag.Bool("quick", false, "reduced-scale smoke run")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		svg   = flag.String("svg", "", "directory to write fig1 SVG renderings into")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "ext1", "ext2", "ext3", "ext4"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := runOne(cfg, strings.TrimSpace(id), *csv, *svg); err != nil {
+			return err
+		}
+		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runOne(cfg experiments.Config, id string, csv bool, svgDir string) error {
+	emitTable := func(t *experiments.Table) {
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+	emitFigs := func(figs ...*experiments.Figure) {
+		for _, f := range figs {
+			if csv {
+				fmt.Print(f.CSV())
+			} else {
+				fmt.Println(f.Format())
+			}
+		}
+	}
+	switch id {
+	case "table1":
+		emitTable(cfg.Table1())
+	case "table2":
+		emitTable(cfg.Table2())
+	case "fig1":
+		res := cfg.Fig1()
+		fmt.Printf("Fig 1: placement comparison (k=%d, p_t=%.2f)\n", res.K, res.Pt)
+		fmt.Printf("  AA:     %v\n", res.AA)
+		fmt.Printf("  Random: %v\n\n", res.Random)
+		if err := viz.WriteASCII(os.Stdout, res.SceneAA); err != nil {
+			return err
+		}
+		if err := viz.WriteASCII(os.Stdout, res.SceneRandom); err != nil {
+			return err
+		}
+		if svgDir != "" {
+			if err := writeSVGs(res, svgDir); err != nil {
+				return err
+			}
+		}
+	case "fig2":
+		emitFigs(cfg.Fig2()...)
+	case "fig3":
+		emitFigs(cfg.Fig3()...)
+	case "fig4":
+		emitFigs(cfg.Fig4()...)
+	case "fig5a":
+		emitFigs(cfg.Fig5a())
+	case "fig5b":
+		emitFigs(cfg.Fig5b())
+	case "ext1":
+		emitFigs(cfg.Ext1()...)
+	case "ext2":
+		emitFigs(cfg.Ext2())
+	case "ext3":
+		emitFigs(cfg.Ext3())
+	case "ext4":
+		emitFigs(cfg.Ext4())
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func writeSVGs(res experiments.Fig1Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, item := range []struct {
+		name  string
+		scene viz.Scene
+	}{
+		{"fig1_aa.svg", res.SceneAA},
+		{"fig1_random.svg", res.SceneRandom},
+	} {
+		f, err := os.Create(filepath.Join(dir, item.name))
+		if err != nil {
+			return err
+		}
+		if err := viz.WriteSVG(f, item.scene, viz.SVGOptions{}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, item.name))
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command mscgen generates MSC problem instances and mobility traces as
+// files for the other tools.
+//
+// Usage:
+//
+//	mscgen -kind rgg -n 100 -m 17 -pt 0.11 -k 6 -out instance.json
+//	mscgen -kind social -m 63 -pt 0.23 -k 6 -out gowalla.json
+//	mscgen -kind mobility -n 90 -steps 30 -out trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"msc"
+	"msc/internal/mobility"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mscgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind   = flag.String("kind", "rgg", "workload: rgg|social|mobility")
+		n      = flag.Int("n", 100, "node count (rgg, mobility)")
+		m      = flag.Int("m", 17, "important social pairs to sample (rgg, social)")
+		pt     = flag.Float64("pt", 0.11, "failure-probability threshold p_t")
+		k      = flag.Int("k", 6, "shortcut budget recorded in the instance")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output path (default stdout)")
+		steps  = flag.Int("steps", 30, "time instances (mobility)")
+		radius = flag.Float64("radius", 0, "RGG connection radius (0 = auto-scale with n)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	rng := msc.NewRand(*seed)
+
+	switch *kind {
+	case "rgg":
+		r := *radius
+		if r <= 0 {
+			// ~1.6× the RGG connectivity threshold sqrt(ln n / (π n)),
+			// which keeps RequireConnected reliable at any n.
+			r = 1.6 * math.Sqrt(math.Log(float64(*n))/(math.Pi*float64(*n)))
+		}
+		g, err := msc.GenerateRGG(msc.RGGConfig{
+			N:                *n,
+			Radius:           r,
+			FailureAtRadius:  0.08,
+			RequireConnected: true,
+		}, rng)
+		if err != nil {
+			return err
+		}
+		return writeInstance(w, g, *m, *pt, *k, rng)
+	case "social":
+		net, err := msc.GenerateSocial(msc.DefaultSocialConfig(), rng)
+		if err != nil {
+			return err
+		}
+		return writeInstance(w, net.Graph, *m, *pt, *k, rng)
+	case "mobility":
+		cfg := msc.DefaultMobilityConfig()
+		cfg.Nodes = *n
+		cfg.Steps = *steps
+		tr, err := msc.GenerateMobilityTrace(cfg, rng)
+		if err != nil {
+			return err
+		}
+		return tr.WriteCSV(w)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+}
+
+func writeInstance(w *os.File, g *msc.Graph, m int, pt float64, k int, rng *msc.Rand) error {
+	thr := msc.NewThreshold(pt)
+	table := msc.NewDistanceTable(g)
+	ps, err := msc.SampleViolatingPairs(table, thr, m, rng)
+	if err != nil {
+		return err
+	}
+	return msc.WriteInstanceJSON(w, g, ps, pt, k)
+}
+
+// Interface check: the mobility trace type must keep its CSV codec, which
+// mscgen and mscplace rely on for file exchange.
+var _ = (*mobility.Trace).WriteCSV

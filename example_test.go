@@ -1,0 +1,64 @@
+package msc_test
+
+import (
+	"fmt"
+
+	"msc"
+)
+
+// ExampleSandwich places one reliable link in a lossy relay chain so that
+// all three important pairs meet the failure bound.
+func ExampleSandwich() {
+	// 0-1-2-3-4: each hop fails 20% of the time.
+	b := msc.NewGraphBuilder(5)
+	for u := msc.NodeID(0); u < 4; u++ {
+		b.AddEdge(u, u+1, msc.LengthFromProb(0.2))
+	}
+	g, _ := b.Build()
+	ps, _ := msc.NewPairSet(5, []msc.Pair{{U: 0, W: 4}, {U: 0, W: 3}, {U: 1, W: 4}})
+	inst, _ := msc.NewInstance(g, ps, msc.NewThreshold(0.3), 1, nil)
+
+	res := msc.Sandwich(inst)
+	fmt.Printf("maintained %d/3 pairs with %d shortcut\n", res.Best.Sigma, len(res.Best.Edges))
+	// Output:
+	// maintained 3/3 pairs with 1 shortcut
+}
+
+// ExampleGreedySigmaCurve shows the marginal value of each additional
+// reliable link: the budget curve a planner reads before buying hardware.
+func ExampleGreedySigmaCurve() {
+	// Two disconnected islands 0-1 and 2-3, plus isolated nodes 4, 5.
+	b := msc.NewGraphBuilder(6)
+	b.AddEdge(0, 1, msc.LengthFromProb(0.05))
+	b.AddEdge(2, 3, msc.LengthFromProb(0.05))
+	g, _ := b.Build()
+	ps, _ := msc.NewPairSet(6, []msc.Pair{
+		{U: 0, W: 2}, {U: 1, W: 3}, {U: 4, W: 5}, {U: 0, W: 4},
+	})
+	inst, _ := msc.NewInstance(g, ps, msc.NewThreshold(0.2), 3, nil)
+
+	fmt.Println(msc.GreedySigmaCurve(inst))
+	// Output:
+	// [0 2 3 4]
+}
+
+// ExampleSolveCommonNode handles the special case where every important
+// pair shares a node (a control center), which reduces to max coverage
+// with a (1−1/e) guarantee.
+func ExampleSolveCommonNode() {
+	// A star of lossy spokes around node 0 plus two remote nodes.
+	b := msc.NewGraphBuilder(5)
+	b.AddEdge(0, 1, msc.LengthFromProb(0.4))
+	b.AddEdge(1, 2, msc.LengthFromProb(0.4))
+	b.AddEdge(0, 3, msc.LengthFromProb(0.4))
+	b.AddEdge(3, 4, msc.LengthFromProb(0.4))
+	g, _ := b.Build()
+	ps, _ := msc.NewPairSet(5, []msc.Pair{{U: 0, W: 2}, {U: 0, W: 4}, {U: 0, W: 1}})
+	inst, _ := msc.NewInstance(g, ps, msc.NewThreshold(0.45), 1, nil)
+
+	res, _ := msc.SolveCommonNode(inst)
+	// One uplink cannot reach both remote spokes: 2/3 is optimal here.
+	fmt.Printf("common node %d, maintained %d/3\n", res.Common, res.Placement.Sigma)
+	// Output:
+	// common node 0, maintained 2/3
+}

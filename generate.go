@@ -1,0 +1,66 @@
+package msc
+
+import (
+	"msc/internal/gen/rgg"
+	"msc/internal/gen/social"
+	"msc/internal/geom"
+	"msc/internal/mobility"
+	"msc/internal/netbuild"
+)
+
+// This file exposes the workload generators behind the paper's evaluation
+// (§VII-A): random geometric graphs, Gowalla-style location-based social
+// networks, and RPGM tactical mobility traces.
+
+// Generator configuration and result types.
+type (
+	// RGGConfig parameterizes a Random Geometric graph in the unit square.
+	RGGConfig = rgg.Config
+	// SocialConfig parameterizes a synthetic location-based social
+	// network (clustered venues, proximity links).
+	SocialConfig = social.Config
+	// SocialNetwork is a generated location-based social network.
+	SocialNetwork = social.Network
+	// MobilityConfig parameterizes an RPGM mobility trace.
+	MobilityConfig = mobility.Config
+	// MobilityTrace is a node-position time series with group structure.
+	MobilityTrace = mobility.Trace
+	// FailureModel maps link distance to failure probability (failure
+	// proportional to distance, §VII-A3).
+	FailureModel = netbuild.FailureModel
+	// Point is a 2-D position.
+	Point = geom.Point
+)
+
+// GenerateRGG draws a Random Geometric graph: n nodes uniform in the unit
+// square, linked within cfg.Radius, failures proportional to distance.
+func GenerateRGG(cfg RGGConfig, rng *Rand) (*Graph, error) {
+	return rgg.Generate(cfg, rng)
+}
+
+// GenerateSocial draws a Gowalla-style location-based social network per
+// cfg; DefaultSocialConfig mirrors the scale of the paper's Austin
+// subgraph (134 users, ~1.9k proximity links).
+func GenerateSocial(cfg SocialConfig, rng *Rand) (*SocialNetwork, error) {
+	return social.Generate(cfg, rng)
+}
+
+// DefaultSocialConfig returns the paper-scale social workload parameters.
+func DefaultSocialConfig() SocialConfig { return social.DefaultConfig() }
+
+// GenerateMobilityTrace draws a Reference Point Group Mobility trace
+// (groups following leaders, members jittering around them), the synthetic
+// surrogate for the tactical traces of §VII-A2.
+func GenerateMobilityTrace(cfg MobilityConfig, rng *Rand) (*MobilityTrace, error) {
+	return mobility.Generate(cfg, rng)
+}
+
+// DefaultMobilityConfig returns the tactical-trace-scale parameters
+// (7 groups, 90 nodes).
+func DefaultMobilityConfig() MobilityConfig { return mobility.DefaultConfig() }
+
+// ProximityGraph builds the wireless graph over node positions: one link
+// per pair within fm.Radius, with distance-proportional failure.
+func ProximityGraph(pts []Point, fm FailureModel) (*Graph, error) {
+	return netbuild.Proximity(pts, fm)
+}

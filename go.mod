@@ -1,0 +1,3 @@
+module msc
+
+go 1.22

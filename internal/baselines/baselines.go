@@ -1,0 +1,162 @@
+// Package baselines implements the all-pairs-oriented shortcut placement
+// strategies from the paper's related work, used as comparison points:
+//
+//   - FarthestPairs follows the diameter-minimization line of Meyerson &
+//     Tagiku (reference [7]): repeatedly connect the currently farthest
+//     node pair with a zero-length shortcut.
+//   - AvgDistanceGreedy follows the average-shortest-path-minimization
+//     line (references [8], [17]): greedily pick the shortcut with the
+//     largest estimated reduction in mean pairwise distance, estimated
+//     over a node-pair sample with the single-extra-shortcut identity
+//     d_{F∪{f}}(u,w) = min(d_F(u,w), d_F(u,a)+d_F(b,w), d_F(u,b)+d_F(a,w)).
+//
+// The paper's argument (§I, §II) is that such placements waste shortcut
+// budget on unimportant pairs; the ext1 experiment quantifies exactly
+// that: how many IMPORTANT pairs these all-pairs strategies maintain
+// compared to the MSC-aware algorithms.
+package baselines
+
+import (
+	"math"
+
+	"msc/internal/graph"
+	"msc/internal/shortestpath"
+	"msc/internal/xrand"
+)
+
+// FarthestPairs places k shortcuts, each connecting the farthest pair of
+// the current augmented graph. Among infinitely-separated pairs
+// (disconnected components) it prefers the lexicographically smallest,
+// which deterministically stitches components together first.
+func FarthestPairs(g *graph.Graph, table *shortestpath.Table, k int) []graph.Edge {
+	n := g.N()
+	placed := make([]graph.Edge, 0, k)
+	for len(placed) < k {
+		ov := shortestpath.NewOverlay(table, placed)
+		bestU, bestV := -1, -1
+		bestD := -1.0
+		row := make([]float64, n)
+		for u := 0; u < n; u++ {
+			ov.DistRow(graph.NodeID(u), row)
+			for v := u + 1; v < n; v++ {
+				d := row[v]
+				if math.IsInf(d, 1) {
+					// Disconnected: maximal separation; take the first.
+					if !math.IsInf(bestD, 1) {
+						bestU, bestV, bestD = u, v, math.Inf(1)
+					}
+					continue
+				}
+				if d > bestD && !math.IsInf(bestD, 1) {
+					bestU, bestV, bestD = u, v, d
+				}
+			}
+		}
+		if bestU < 0 || bestD == 0 {
+			break // diameter already 0: nothing left to shrink
+		}
+		placed = append(placed, graph.Edge{U: graph.NodeID(bestU), V: graph.NodeID(bestV)})
+	}
+	return placed
+}
+
+// AvgDistanceGreedy places k shortcuts greedily minimizing the average
+// pairwise distance, estimated on sampleSize uniformly drawn node pairs.
+// Unreachable sample pairs contribute a large finite penalty (twice the
+// largest finite distance) so that reconnecting components counts.
+func AvgDistanceGreedy(g *graph.Graph, table *shortestpath.Table, k, sampleSize int, rng *xrand.Rand) []graph.Edge {
+	n := g.N()
+	if n < 2 {
+		return nil
+	}
+	type samplePair struct{ u, w graph.NodeID }
+	samples := make([]samplePair, 0, sampleSize)
+	for len(samples) < sampleSize {
+		u := graph.NodeID(rng.Intn(n))
+		w := graph.NodeID(rng.Intn(n))
+		if u != w {
+			samples = append(samples, samplePair{u: u, w: w})
+		}
+	}
+	// Penalty for disconnection: beyond any finite distance.
+	maxFinite := 0.0
+	for u := 0; u < n; u++ {
+		for _, d := range table.Row(graph.NodeID(u)) {
+			if !math.IsInf(d, 1) && d > maxFinite {
+				maxFinite = d
+			}
+		}
+	}
+	penalty := 2*maxFinite + 1
+
+	clampDist := func(d float64) float64 {
+		if math.IsInf(d, 1) || d > penalty {
+			return penalty
+		}
+		return d
+	}
+
+	placed := make([]graph.Edge, 0, k)
+	// Distance rows from each distinct sample endpoint under the current
+	// placement; refreshed after every selection.
+	endpoints := make([]graph.NodeID, 0, 2*len(samples))
+	seen := map[graph.NodeID]int{}
+	idx := func(v graph.NodeID) int {
+		if i, ok := seen[v]; ok {
+			return i
+		}
+		i := len(endpoints)
+		seen[v] = i
+		endpoints = append(endpoints, v)
+		return i
+	}
+	type sampleIdx struct{ ui, wi int }
+	sIdx := make([]sampleIdx, len(samples))
+	for i, s := range samples {
+		sIdx[i] = sampleIdx{ui: idx(s.u), wi: idx(s.w)}
+	}
+	rows := make([][]float64, len(endpoints))
+	for i := range rows {
+		rows[i] = make([]float64, n)
+	}
+
+	for len(placed) < k {
+		ov := shortestpath.NewOverlay(table, placed)
+		for i, e := range endpoints {
+			ov.DistRow(e, rows[i])
+		}
+		// Scan every candidate (a, b): total sampled distance after
+		// adding it, using the single-extra-shortcut identity.
+		bestA, bestB := -1, -1
+		bestTotal := math.Inf(1)
+		baseTotal := 0.0
+		for i := range samples {
+			baseTotal += clampDist(rows[sIdx[i].ui][samples[i].w])
+		}
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				total := 0.0
+				for i := range samples {
+					ru := rows[sIdx[i].ui]
+					rw := rows[sIdx[i].wi]
+					d := ru[samples[i].w]
+					if via := ru[a] + rw[b]; via < d {
+						d = via
+					}
+					if via := ru[b] + rw[a]; via < d {
+						d = via
+					}
+					total += clampDist(d)
+				}
+				if total < bestTotal {
+					bestA, bestB, bestTotal = a, b, total
+				}
+			}
+		}
+		if bestA < 0 || bestTotal >= baseTotal {
+			break // no candidate reduces the sampled average
+		}
+		placed = append(placed, graph.Edge{U: graph.NodeID(bestA), V: graph.NodeID(bestB)})
+	}
+	return placed
+}

@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"msc/internal/graph"
+	"msc/internal/shortestpath"
+	"msc/internal/xrand"
+)
+
+func lineGraph(t *testing.T, n int) (*graph.Graph, *shortestpath.Table) {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, shortestpath.NewTable(g)
+}
+
+func diameter(g *graph.Graph, table *shortestpath.Table, placed []graph.Edge) float64 {
+	ov := shortestpath.NewOverlay(table, placed)
+	n := g.N()
+	row := make([]float64, n)
+	worst := 0.0
+	for u := 0; u < n; u++ {
+		ov.DistRow(graph.NodeID(u), row)
+		for v := u + 1; v < n; v++ {
+			if row[v] > worst {
+				worst = row[v]
+			}
+		}
+	}
+	return worst
+}
+
+func TestFarthestPairsShrinksDiameter(t *testing.T) {
+	g, table := lineGraph(t, 12) // diameter 11
+	before := diameter(g, table, nil)
+	placed := FarthestPairs(g, table, 2)
+	if len(placed) != 2 {
+		t.Fatalf("placed %d edges", len(placed))
+	}
+	// First shortcut must connect the line's endpoints.
+	if placed[0].U != 0 || placed[0].V != 11 {
+		t.Fatalf("first shortcut = %v, want (0, 11)", placed[0])
+	}
+	after := diameter(g, table, placed)
+	if after >= before/2 {
+		t.Fatalf("diameter %v -> %v: expected a large reduction", before, after)
+	}
+}
+
+func TestFarthestPairsBridgesComponents(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := shortestpath.NewTable(g)
+	placed := FarthestPairs(g, table, 1)
+	if len(placed) != 1 {
+		t.Fatal("no shortcut placed")
+	}
+	ov := shortestpath.NewOverlay(table, placed)
+	if math.IsInf(ov.Dist(0, 3), 1) {
+		t.Fatalf("placement %v left components disconnected", placed)
+	}
+}
+
+func TestFarthestPairsStopsAtZeroDiameter(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := shortestpath.NewTable(g)
+	if placed := FarthestPairs(g, table, 3); len(placed) != 0 {
+		t.Fatalf("placed %v on a zero-diameter graph", placed)
+	}
+}
+
+func TestAvgDistanceGreedyReducesSampledMean(t *testing.T) {
+	g, table := lineGraph(t, 16)
+	rng := xrand.New(1)
+	placed := AvgDistanceGreedy(g, table, 3, 200, rng)
+	if len(placed) == 0 {
+		t.Fatal("nothing placed")
+	}
+	mean := func(edges []graph.Edge) float64 {
+		ov := shortestpath.NewOverlay(table, edges)
+		total, count := 0.0, 0
+		for u := 0; u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				total += ov.Dist(graph.NodeID(u), graph.NodeID(v))
+				count++
+			}
+		}
+		return total / float64(count)
+	}
+	if after, before := mean(placed), mean(nil); after >= before {
+		t.Fatalf("mean distance %v -> %v: no improvement", before, after)
+	}
+}
+
+func TestAvgDistanceGreedyDeterministic(t *testing.T) {
+	g, table := lineGraph(t, 14)
+	a := AvgDistanceGreedy(g, table, 2, 150, xrand.New(5))
+	b := AvgDistanceGreedy(g, table, 2, 150, xrand.New(5))
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different placement")
+		}
+	}
+}
+
+func TestAvgDistanceGreedyTinyGraph(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := shortestpath.NewTable(g)
+	placed := AvgDistanceGreedy(g, table, 2, 50, xrand.New(1))
+	// Only one candidate (0,1); placing it drops the mean to 0, the
+	// second round finds no further gain.
+	if len(placed) > 1 {
+		t.Fatalf("placed %v", placed)
+	}
+}

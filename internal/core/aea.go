@@ -1,0 +1,238 @@
+package core
+
+import (
+	"msc/internal/xrand"
+)
+
+// AEAOptions tune the adaptive evolutionary algorithm.
+type AEAOptions struct {
+	// Iterations is the adjustment count r (paper uses r = 500).
+	Iterations int
+	// PopSize is the candidate-solution-set size l (paper uses l = 10).
+	PopSize int
+	// Delta is the random-exploration probability δ, close to 0 (paper
+	// uses δ = 0.05). With probability 1−δ an iteration performs the
+	// greedy remove-then-add swap; otherwise a uniformly random swap.
+	Delta float64
+	// RecordTrace enables per-iteration best-σ recording (Fig. 4).
+	RecordTrace bool
+	// SeedGreedy seeds the initial population with the greedy-σ placement
+	// instead of a uniform random one. This is an extension beyond the
+	// paper (Algorithm 2 seeds randomly): it guarantees AEA never returns
+	// a worse placement than the F_σ arm of the sandwich algorithm, at
+	// the cost of one greedy run before the evolutionary loop.
+	SeedGreedy bool
+}
+
+// DefaultAEAOptions mirror the paper's evaluation settings (§VII-D).
+func DefaultAEAOptions() AEAOptions {
+	return AEAOptions{Iterations: 500, PopSize: 10, Delta: 0.05}
+}
+
+// AEAResult reports an AEA run.
+type AEAResult struct {
+	Best Placement
+	// Trace[t] is the best σ found within the first t+1 iterations
+	// (recorded only with RecordTrace).
+	Trace []int
+}
+
+// aeaSol is one population member.
+type aeaSol struct {
+	sel   []int
+	sigma int
+}
+
+// AEA is the adaptive evolutionary algorithm of §V-D (Algorithm 2). Unlike
+// EA it searches only the feasible region |F| = k: it seeds a random
+// placement of k shortcuts, then repeatedly derives a new solution from a
+// uniformly chosen population member by a swap — greedy with probability
+// 1−δ (drop the edge whose removal hurts σ least, then add the edge with
+// the largest σ gain), uniformly random with probability δ. The new
+// solution replaces the population's worst member when strictly better,
+// and the population keeps at most l members for diversity.
+//
+// The paper's argmax steps leave ties unspecified; AEA breaks all of them
+// uniformly at random. Random tie-breaking matters: on plateaus (several
+// removals or additions with equal σ effect) a deterministic tie-break
+// regenerates the same child forever, while randomized argmax keeps
+// exploring the plateau — the AEADelta ablation bench quantifies the
+// difference. When every addition has zero gain, every candidate is an
+// argmax and AEA draws one uniformly from the absent candidates.
+func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
+	if opts.PopSize < 1 {
+		opts.PopSize = 1
+	}
+	numCand := p.NumCandidates()
+	k := p.K()
+	if k > numCand {
+		k = numCand
+	}
+
+	seed := rng.SampleDistinct(numCand, k)
+	if opts.SeedGreedy {
+		seed = greedySeed(p, k, numCand, rng)
+	}
+	pop := []aeaSol{{sel: seed, sigma: p.Sigma(seed)}}
+	best := pop[0]
+	res := AEAResult{}
+	if opts.RecordTrace {
+		res.Trace = make([]int, 0, opts.Iterations)
+	}
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		parent := pop[rng.Intn(len(pop))]
+		child := deriveChild(p, parent, opts.Delta, rng)
+		if child.sigma > best.sigma {
+			best = child
+		}
+		updatePopulation(&pop, child, opts.PopSize)
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, best.sigma)
+		}
+	}
+	res.Best = newPlacement(p, best.sel)
+	return res
+}
+
+// greedySeed starts from the greedy-σ placement and tops it up to k with
+// random extras so the swap moves operate on a full budget.
+func greedySeed(p Problem, k, numCand int, rng *xrand.Rand) []int {
+	seed := GreedySigma(p).Selection
+	for len(seed) < k {
+		c := rng.Intn(numCand)
+		dup := false
+		for _, x := range seed {
+			if x == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seed = append(seed, c)
+		}
+	}
+	return seed
+}
+
+// deriveChild produces a new feasible solution from parent via one swap.
+func deriveChild(p Problem, parent aeaSol, delta float64, rng *xrand.Rand) aeaSol {
+	numCand := p.NumCandidates()
+	if rng.Float64() <= 1-delta {
+		// Greedy swap on an incremental search state, argmax ties broken
+		// uniformly at random.
+		s := p.NewSearch(parent.sel)
+		if s.Len() > 0 {
+			s.RemoveAt(randomBestDrop(s, rng))
+		}
+		cand := randomBestAdd(s, rng)
+		if cand < 0 {
+			cand = randomAbsent(s, numCand, rng)
+		}
+		s.Add(cand)
+		return aeaSol{sel: s.Selection(), sigma: s.Sigma()}
+	}
+	// Random swap.
+	child := append([]int(nil), parent.sel...)
+	if len(child) > 0 {
+		i := rng.Intn(len(child))
+		child[i] = child[len(child)-1]
+		child = child[:len(child)-1]
+	}
+	child = append(child, randomAbsentSel(child, numCand, rng))
+	return aeaSol{sel: child, sigma: p.Sigma(child)}
+}
+
+// randomBestDrop returns a uniformly random position among those whose
+// removal leaves the maximal σ.
+func randomBestDrop(s Search, rng *xrand.Rand) int {
+	bestSigma := -1
+	var ties []int
+	for pos := 0; pos < s.Len(); pos++ {
+		sig := s.SigmaDrop(pos)
+		switch {
+		case sig > bestSigma:
+			bestSigma = sig
+			ties = ties[:0]
+			ties = append(ties, pos)
+		case sig == bestSigma:
+			ties = append(ties, pos)
+		}
+	}
+	return ties[rng.Intn(len(ties))]
+}
+
+// randomBestAdd returns a uniformly random candidate among those with the
+// maximal positive σ gain, or -1 when no addition gains anything.
+func randomBestAdd(s Search, rng *xrand.Rand) int {
+	gains := s.GainsAdd()
+	bestGain := 0
+	count := 0
+	for _, g := range gains {
+		switch {
+		case g > bestGain:
+			bestGain = g
+			count = 1
+		case g == bestGain && g > 0:
+			count++
+		}
+	}
+	if bestGain <= 0 {
+		return -1
+	}
+	// Reservoir-free second pass: pick the j-th maximizer.
+	j := rng.Intn(count)
+	for c, g := range gains {
+		if g == bestGain {
+			if j == 0 {
+				return c
+			}
+			j--
+		}
+	}
+	return -1 // unreachable
+}
+
+// randomAbsent draws a uniform candidate not in the search's selection.
+func randomAbsent(s Search, numCand int, rng *xrand.Rand) int {
+	for {
+		c := rng.Intn(numCand)
+		if !s.Contains(c) {
+			return c
+		}
+	}
+}
+
+func randomAbsentSel(sel []int, numCand int, rng *xrand.Rand) int {
+	for {
+		c := rng.Intn(numCand)
+		dup := false
+		for _, x := range sel {
+			if x == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			return c
+		}
+	}
+}
+
+// updatePopulation inserts child, evicting the worst member when the
+// population is full and the child strictly improves on it.
+func updatePopulation(pop *[]aeaSol, child aeaSol, popSize int) {
+	if len(*pop) < popSize {
+		*pop = append(*pop, child)
+		return
+	}
+	worst := 0
+	for i := 1; i < len(*pop); i++ {
+		if (*pop)[i].sigma < (*pop)[worst].sigma {
+			worst = i
+		}
+	}
+	if (*pop)[worst].sigma < child.sigma {
+		(*pop)[worst] = child
+	}
+}

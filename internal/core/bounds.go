@@ -1,0 +1,167 @@
+package core
+
+import (
+	"msc/internal/bitset"
+	"msc/internal/graph"
+	"msc/internal/maxcover"
+)
+
+// buildBounds materializes the coverage structures behind the two
+// submodular bound functions (paper §V-B). Both derive from the all-pairs
+// table D of the raw network:
+//
+//   - μ (lower bound): restrict every path to use at most one shortcut.
+//     Candidate f=(a,b) then satisfies a fixed pair set
+//     S_f = { {u,w} ∈ S : min(D[u][a]+D[b][w], D[u][b]+D[a][w]) ≤ d_t },
+//     and μ(F) = |S_∅ ∪ ⋃_{f∈F} S_f| — a coverage function, hence
+//     monotone submodular, and μ ≤ σ everywhere (the restriction can only
+//     lengthen paths).
+//
+//   - ν (upper bound): a pair endpoint x is "covered" by F when some
+//     shortcut endpoint is within d_t of x. With node weight
+//     w(x) = ½ × (multiplicity of x in S), ν(F) = Σ weights of covered
+//     endpoints + |S_∅|. Any pair newly satisfied by F must have both
+//     endpoints covered (its path enters/leaves the shortcut region within
+//     budget), so ν ≥ σ; weighted coverage is submodular.
+//
+// The |S_∅| offset keeps ν ≥ σ on instances where some pairs already meet
+// the threshold (the paper assumes none do; adding a constant preserves
+// both the bound and submodularity).
+func (inst *Instance) buildBounds() {
+	inst.boundsOnce.Do(func() {
+		inst.buildMuSets()
+		inst.buildNuSets()
+	})
+}
+
+func (inst *Instance) buildMuSets() {
+	m := inst.ps.Len()
+	inst.muSets = make([]*bitset.Set, inst.numCand)
+	// Iterate candidates in row-major triangular order over the candidate
+	// nodes so the candidate index advances in lockstep with (a, b).
+	t := len(inst.candNodes)
+	idx := 0
+	for ai := 0; ai < t; ai++ {
+		rowA := inst.table.Row(inst.candNodes[ai])
+		for bi := ai + 1; bi < t; bi++ {
+			rowB := inst.table.Row(inst.candNodes[bi])
+			s := bitset.New(m)
+			for i, p := range inst.ps.Pairs() {
+				if inst.satisfied0.Contains(i) {
+					continue // handled by the Initial set
+				}
+				d1 := rowA[p.U] + rowB[p.W]
+				d2 := rowB[p.U] + rowA[p.W]
+				if d1 <= inst.thr.D || d2 <= inst.thr.D {
+					s.Add(i)
+				}
+			}
+			inst.muSets[idx] = s
+			idx++
+		}
+	}
+}
+
+func (inst *Instance) buildNuSets() {
+	// Universe: distinct nodes appearing in S. Node weight is half the
+	// total importance of the pairs it appears in — ½ × multiplicity when
+	// unweighted, matching §V-B2 exactly.
+	inst.nuNodes = inst.ps.Nodes()
+	inst.nuIndex = make(map[graph.NodeID]int, len(inst.nuNodes))
+	inst.nuWeights = make([]float64, len(inst.nuNodes))
+	for i, v := range inst.nuNodes {
+		inst.nuIndex[v] = i
+	}
+	for i, p := range inst.ps.Pairs() {
+		half := float64(inst.weights[i]) / 2
+		inst.nuWeights[inst.nuIndex[p.U]] += half
+		inst.nuWeights[inst.nuIndex[p.W]] += half
+	}
+	// perNode[vi] = pair-node indices within d_t of candidate node vi.
+	t := len(inst.candNodes)
+	perNode := make([]*bitset.Set, t)
+	for vi := 0; vi < t; vi++ {
+		s := bitset.New(len(inst.nuNodes))
+		row := inst.table.Row(inst.candNodes[vi])
+		for i, x := range inst.nuNodes {
+			if row[x] <= inst.thr.D {
+				s.Add(i)
+			}
+		}
+		perNode[vi] = s
+	}
+	inst.nuSets = make([]*bitset.Set, inst.numCand)
+	idx := 0
+	for ai := 0; ai < t; ai++ {
+		for bi := ai + 1; bi < t; bi++ {
+			s := perNode[ai].Clone()
+			s.UnionWith(perNode[bi])
+			inst.nuSets[idx] = s
+			idx++
+		}
+	}
+}
+
+// Mu evaluates the lower bound μ on a selection: the total weight of
+// pairs satisfiable with at most one shortcut each, plus pairs already
+// satisfied.
+func (inst *Instance) Mu(sel []int) float64 {
+	inst.buildBounds()
+	covered := inst.satisfied0.Clone()
+	for _, c := range sel {
+		covered.UnionWith(inst.muSets[c])
+	}
+	total := 0.0
+	covered.ForEach(func(i int) {
+		total += float64(inst.weights[i])
+	})
+	return total
+}
+
+// Nu evaluates the upper bound ν on a selection: total weight of covered
+// pair endpoints plus the satisfied-at-baseline offset.
+func (inst *Instance) Nu(sel []int) float64 {
+	inst.buildBounds()
+	covered := bitset.New(len(inst.nuNodes))
+	for _, c := range sel {
+		covered.UnionWith(inst.nuSets[c])
+	}
+	total := float64(inst.baseSigma)
+	covered.ForEach(func(i int) {
+		total += inst.nuWeights[i]
+	})
+	return total
+}
+
+// MuProblem exposes μ as a max-coverage instance (budget k) for the greedy
+// arm F_μ of the sandwich algorithm. The coverage elements are pairs,
+// weighted by importance (nil weights when uniform, keeping the faster
+// popcount marginals).
+func (inst *Instance) MuProblem() maxcover.Problem {
+	inst.buildBounds()
+	p := maxcover.Problem{
+		Sets:    inst.muSets,
+		Initial: inst.satisfied0,
+		K:       inst.k,
+	}
+	if inst.totalWeight != inst.ps.Len() {
+		weights := make([]float64, inst.ps.Len())
+		for i, w := range inst.weights {
+			weights[i] = float64(w)
+		}
+		p.Weights = weights
+	}
+	return p
+}
+
+// NuProblem exposes ν as a weighted max-coverage instance (budget k) for
+// the greedy arm F_ν. The baseline offset is a constant and does not affect
+// which sets greedy picks.
+func (inst *Instance) NuProblem() maxcover.Problem {
+	inst.buildBounds()
+	return maxcover.Problem{
+		Weights: inst.nuWeights,
+		Sets:    inst.nuSets,
+		K:       inst.k,
+	}
+}

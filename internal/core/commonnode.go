@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"msc/internal/bitset"
+	"msc/internal/graph"
+	"msc/internal/maxcover"
+)
+
+// Errors returned by SolveCommonNode.
+var (
+	// ErrNoCommonNode reports that the instance's pairs do not all share
+	// a node.
+	ErrNoCommonNode = errors.New("core: pairs do not share a common node")
+	// ErrRestrictedUniverse reports that the instance excludes pair nodes
+	// from the candidate universe, which contradicts MSC-CN's shortcuts
+	// incident to the common (pair) node.
+	ErrRestrictedUniverse = errors.New("core: MSC-CN requires the unrestricted candidate universe")
+)
+
+// CommonNodeResult reports the MSC-CN greedy (§IV-B).
+type CommonNodeResult struct {
+	Placement Placement
+	// Common is the node shared by every pair.
+	Common graph.NodeID
+	// Coverage is the max-coverage value achieved (== Placement.Sigma; the
+	// equality is the reduction of Theorem 1 and is asserted in tests).
+	Coverage int
+}
+
+// SolveCommonNode solves the MSC-CN special case (§IV): when every
+// important pair shares a common node u, there is an optimal placement
+// whose shortcuts are all incident to u, and the problem reduces exactly to
+// maximum coverage — candidate endpoint v covers pair {u,w} iff
+// D(v,w) ≤ d_t. The greedy selection therefore achieves the (1−1/e)
+// approximation of Theorem 5.
+func SolveCommonNode(inst *Instance) (CommonNodeResult, error) {
+	if inst.candPos != nil {
+		return CommonNodeResult{}, ErrRestrictedUniverse
+	}
+	u, ok := inst.Pairs().CommonNode()
+	if !ok {
+		return CommonNodeResult{}, ErrNoCommonNode
+	}
+	m := inst.Pairs().Len()
+	// other[i] is the non-common endpoint of pair i.
+	other := make([]graph.NodeID, m)
+	for i, p := range inst.Pairs().Pairs() {
+		if p.U == u {
+			other[i] = p.W
+		} else {
+			other[i] = p.U
+		}
+	}
+	n := inst.N()
+	// Candidate v ∈ V\{u} covers pair i iff D(v, other[i]) ≤ d_t.
+	sets := make([]*bitset.Set, 0, n-1)
+	cands := make([]graph.NodeID, 0, n-1)
+	for v := 0; v < n; v++ {
+		if graph.NodeID(v) == u {
+			continue
+		}
+		s := bitset.New(m)
+		row := inst.Table().Row(graph.NodeID(v))
+		for i, w := range other {
+			if row[w] <= inst.Threshold().D {
+				s.Add(i)
+			}
+		}
+		sets = append(sets, s)
+		cands = append(cands, graph.NodeID(v))
+	}
+	prob := maxcover.Problem{
+		Sets:    sets,
+		Initial: inst.satisfied0,
+		K:       inst.K(),
+	}
+	if inst.totalWeight != m {
+		weights := make([]float64, m)
+		for i, w := range inst.weights {
+			weights[i] = float64(w)
+		}
+		prob.Weights = weights
+	}
+	res := maxcover.LazyGreedy(prob)
+	sel := make([]int, len(res.Chosen))
+	for i, c := range res.Chosen {
+		sel[i] = inst.CandidateIndex(graph.Edge{U: u, V: cands[c]})
+	}
+	pl := newPlacement(inst, sel)
+	coverage := 0
+	res.Covered.ForEach(func(i int) { coverage += int(inst.weights[i]) })
+	return CommonNodeResult{
+		Placement: pl,
+		Common:    u,
+		Coverage:  coverage,
+	}, nil
+}
+
+// VerifyCommonNodeReduction cross-checks Theorem 1's reduction on an
+// instance: the coverage value of the greedy max-coverage run must equal
+// the exact σ of the produced placement. It returns an error describing any
+// mismatch; tests call it on randomized instances.
+func VerifyCommonNodeReduction(inst *Instance) error {
+	res, err := SolveCommonNode(inst)
+	if err != nil {
+		return err
+	}
+	if res.Coverage != res.Placement.Sigma {
+		return fmt.Errorf("core: coverage %d != σ %d for common-node placement %v",
+			res.Coverage, res.Placement.Sigma, res.Placement.Edges)
+	}
+	return nil
+}

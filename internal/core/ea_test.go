@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"msc/internal/xrand"
+)
+
+func TestMutateExpectedFlips(t *testing.T) {
+	rng := xrand.New(301)
+	const numCand = 1000
+	parent := []int{1, 5, 900}
+	totalDiff := 0
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		child := mutate(parent, numCand, 1.0/numCand, rng)
+		totalDiff += symmetricDiff(parent, child)
+	}
+	// Each of numCand bits flips w.p. 1/numCand → expected 1 flip/draw.
+	mean := float64(totalDiff) / trials
+	if mean < 0.8 || mean > 1.2 {
+		t.Fatalf("mean flips = %v, want ≈ 1", mean)
+	}
+}
+
+func TestMutatePreservesSortedUnique(t *testing.T) {
+	rng := xrand.New(302)
+	parent := []int{3, 7, 11}
+	for i := 0; i < 200; i++ {
+		child := mutate(parent, 50, 0.1, rng)
+		if !sort.IntsAreSorted(child) {
+			t.Fatalf("child not sorted: %v", child)
+		}
+		for j := 1; j < len(child); j++ {
+			if child[j] == child[j-1] {
+				t.Fatalf("duplicate in child: %v", child)
+			}
+		}
+		for _, c := range child {
+			if c < 0 || c >= 50 {
+				t.Fatalf("candidate out of range: %v", child)
+			}
+		}
+	}
+}
+
+func TestMutateZeroFlipsCopies(t *testing.T) {
+	rng := xrand.New(303)
+	parent := []int{2, 4}
+	child := mutate(parent, 10, 0, rng) // flip probability 0
+	if symmetricDiff(parent, child) != 0 {
+		t.Fatalf("child differs with p=0: %v", child)
+	}
+	// And it must be a copy, not an alias.
+	child[0] = 99
+	if parent[0] == 99 {
+		t.Fatal("mutate aliased the parent")
+	}
+}
+
+func TestInsertParetoKeepsFrontConsistent(t *testing.T) {
+	pop := []eaSol{}
+	insert := func(sigma int, size int) {
+		sel := make([]int, size)
+		for i := range sel {
+			sel[i] = i
+		}
+		insertPareto(&pop, eaSol{sel: sel, sigma: sigma})
+	}
+	insert(0, 0) // baseline
+	insert(3, 2)
+	insert(5, 4)
+	insert(2, 1)
+	// Dominated entries must not join.
+	insert(2, 3) // dominated by (3,2)
+	insert(1, 5) // dominated by several
+	// A dominating entry must evict.
+	insert(6, 4) // dominates (5,4)
+
+	// Verify: no member weakly dominates another.
+	for i := range pop {
+		for j := range pop {
+			if i == j {
+				continue
+			}
+			if pop[i].sigma >= pop[j].sigma && len(pop[i].sel) <= len(pop[j].sel) {
+				t.Fatalf("archive holds dominated pair: (%d,%d) vs (%d,%d)",
+					pop[i].sigma, len(pop[i].sel), pop[j].sigma, len(pop[j].sel))
+			}
+		}
+	}
+	// The evicted (5,4) must be gone and (6,4) present.
+	for _, s := range pop {
+		if s.sigma == 5 && len(s.sel) == 4 {
+			t.Fatal("(5,4) should have been evicted by (6,4)")
+		}
+	}
+	found := false
+	for _, s := range pop {
+		if s.sigma == 6 && len(s.sel) == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("(6,4) missing from the archive")
+	}
+}
+
+func TestInsertParetoRejectsDuplicates(t *testing.T) {
+	pop := []eaSol{}
+	insertPareto(&pop, eaSol{sel: []int{1}, sigma: 3})
+	insertPareto(&pop, eaSol{sel: []int{2}, sigma: 3}) // same objectives: weakly dominated
+	if len(pop) != 1 {
+		t.Fatalf("archive size %d, want 1", len(pop))
+	}
+}
+
+func TestEAArchiveBoundedByObjectives(t *testing.T) {
+	rng := xrand.New(304)
+	inst := testInstance(t, 14, 6, 3, 0.9, rng)
+	res := EA(inst, EAOptions{Iterations: 400}, rng)
+	// The Pareto front over (σ ∈ [0, m], minimal |F| per σ) holds at most
+	// m+1 members.
+	if res.PopulationSize > inst.MaxSigma()+1 {
+		t.Fatalf("archive size %d exceeds m+1 = %d", res.PopulationSize, inst.MaxSigma()+1)
+	}
+}
+
+func TestAEASeedGreedyDominatesGreedyArm(t *testing.T) {
+	rng := xrand.New(305)
+	inst := testInstance(t, 18, 9, 3, 0.9, rng)
+	greedy := GreedySigma(inst)
+	res := AEA(inst, AEAOptions{Iterations: 50, PopSize: 5, Delta: 0.05, SeedGreedy: true}, rng)
+	if res.Best.Sigma < greedy.Sigma {
+		t.Fatalf("SeedGreedy AEA σ=%d below greedy σ=%d", res.Best.Sigma, greedy.Sigma)
+	}
+}
+
+func symmetricDiff(a, b []int) int {
+	in := map[int]int{}
+	for _, x := range a {
+		in[x]++
+	}
+	for _, x := range b {
+		in[x]--
+	}
+	diff := 0
+	for _, v := range in {
+		if v != 0 {
+			diff++
+		}
+	}
+	return diff
+}

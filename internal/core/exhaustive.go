@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrTooLarge is returned by Exhaustive when the search space exceeds the
+// given cap.
+var ErrTooLarge = errors.New("core: exhaustive search space too large")
+
+// Exhaustive computes the exact optimal placement by enumerating every
+// selection of up to k candidates. It is exponential and exists to verify
+// approximation ratios on test-sized instances; maxEvals caps the number of
+// σ evaluations (use ~1e6).
+//
+// Because σ is monotone in F, it suffices to enumerate selections of size
+// exactly min(k, N).
+func Exhaustive(p Problem, maxEvals int) (Placement, error) {
+	numCand := p.NumCandidates()
+	k := p.K()
+	if k > numCand {
+		k = numCand
+	}
+	total := binomial(numCand, k)
+	if total < 0 || total > float64(maxEvals) {
+		return Placement{}, ErrTooLarge
+	}
+	sel := make([]int, k)
+	for i := range sel {
+		sel[i] = i
+	}
+	var bestSel []int
+	bestSigma := -1
+	for {
+		if sigma := p.Sigma(sel); sigma > bestSigma {
+			bestSigma = sigma
+			bestSel = append([]int(nil), sel...)
+		}
+		if !nextCombination(sel, numCand) {
+			break
+		}
+	}
+	if bestSel == nil { // k == 0
+		bestSel = []int{}
+	}
+	return newPlacement(p, bestSel), nil
+}
+
+// nextCombination advances sel to the next k-combination of [0, n) in
+// lexicographic order, returning false after the last one.
+func nextCombination(sel []int, n int) bool {
+	k := len(sel)
+	if k == 0 {
+		return false
+	}
+	i := k - 1
+	for i >= 0 && sel[i] == n-k+i {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	sel[i]++
+	for j := i + 1; j < k; j++ {
+		sel[j] = sel[j-1] + 1
+	}
+	return true
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res *= float64(n-i) / float64(i+1)
+		if math.IsInf(res, 1) {
+			return res
+		}
+	}
+	return res
+}

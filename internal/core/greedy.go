@@ -1,0 +1,40 @@
+package core
+
+import "msc/internal/maxcover"
+
+// GreedySigma greedily maximizes σ directly: at each of up to k rounds it
+// adds the candidate shortcut with the largest exact marginal gain. This is
+// the F_σ arm of the sandwich algorithm (§V-B). σ is not submodular, so
+// this greedy alone carries no approximation guarantee — that is exactly
+// what the μ/ν arms repair.
+//
+// Rounds with zero marginal gain stop the search: under a zero gain every
+// candidate is an argmax, and adding one cannot be justified by σ alone.
+func GreedySigma(p Problem) Placement {
+	s := p.NewSearch(nil)
+	for s.Len() < p.K() {
+		cand, gain := s.BestAdd()
+		if gain <= 0 {
+			break
+		}
+		s.Add(cand)
+	}
+	return newPlacement(p, s.Selection())
+}
+
+// GreedyMu greedily maximizes the submodular lower bound μ (§V-B1) via its
+// max-coverage form, then reports the true σ of the resulting placement.
+// As a monotone submodular maximization, the selection is a (1−1/e)
+// approximation of the best possible μ.
+func GreedyMu(p Problem) Placement {
+	res := maxcover.LazyGreedy(p.MuProblem())
+	return newPlacement(p, res.Chosen)
+}
+
+// GreedyNu greedily maximizes the submodular upper bound ν (§V-B2) via its
+// weighted max-coverage form, then reports the true σ of the resulting
+// placement.
+func GreedyNu(p Problem) Placement {
+	res := maxcover.LazyGreedy(p.NuProblem())
+	return newPlacement(p, res.Chosen)
+}

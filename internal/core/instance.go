@@ -1,0 +1,392 @@
+// Package core implements the Maintaining Social Connections (MSC) problem
+// and every placement algorithm the paper proposes.
+//
+// MSC (paper §III-C): given an undirected graph G with edge lengths
+// l = −ln(1−p_fail), a set S of m important social pairs, a distance
+// threshold d_t = −ln(1−p_t), and a budget k, place at most k zero-length
+// shortcut edges F ⊆ V×V maximizing σ(F) — the number of pairs of S whose
+// shortest-path distance in G ∪ F is ≤ d_t. The problem is NP-hard
+// (Corollary 2) and σ is not submodular (§V-A).
+//
+// Algorithms provided:
+//
+//   - GreedySigma        — greedy maximization of σ itself (the F_σ arm).
+//   - GreedyMu, GreedyNu — greedy on the submodular lower/upper bounds μ, ν.
+//   - Sandwich           — the approximation algorithm AA of §V-B: best of
+//     the three greedy arms, with the data-dependent ratio bound of Eq. (5).
+//   - SolveCommonNode    — the (1−1/e) max-coverage greedy for MSC-CN (§IV).
+//   - EA                 — GSEMO-style evolutionary algorithm (Alg. 1).
+//   - AEA                — adaptive evolutionary algorithm (Alg. 2).
+//   - RandomPlacement    — best-of-R random baseline (§VII-C).
+//   - Exhaustive         — exact optimum by enumeration (test-sized only).
+//
+// All algorithms are written against the Problem interface so they apply
+// unchanged to dynamic networks (§VI, internal/dynamic).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"msc/internal/bitset"
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/maxcover"
+	"msc/internal/pairs"
+	"msc/internal/shortestpath"
+)
+
+// Problem abstracts an MSC instance (single-topology or dynamic) for the
+// placement algorithms. Candidates are the N = n(n−1)/2 unordered node
+// pairs, identified by dense indices.
+type Problem interface {
+	// N returns the number of nodes.
+	N() int
+	// NumCandidates returns the size of the candidate shortcut universe.
+	NumCandidates() int
+	// CandidateEdge maps a candidate index to its edge.
+	CandidateEdge(i int) graph.Edge
+	// CandidateIndex maps an edge to its candidate index.
+	CandidateIndex(e graph.Edge) int
+	// K returns the shortcut budget.
+	K() int
+	// MaxSigma returns the largest achievable σ (m, or Σ m_i for dynamic
+	// instances).
+	MaxSigma() int
+	// Sigma evaluates σ on a selection of candidate indices.
+	Sigma(sel []int) int
+	// Mu evaluates the submodular lower bound μ (§V-B1).
+	Mu(sel []int) float64
+	// Nu evaluates the submodular upper bound ν (§V-B2).
+	Nu(sel []int) float64
+	// MuProblem returns μ as a max-coverage instance with budget k.
+	MuProblem() maxcover.Problem
+	// NuProblem returns ν as a weighted max-coverage instance with budget k.
+	NuProblem() maxcover.Problem
+	// NewSearch returns an incremental evaluator positioned at the given
+	// selection (which it copies).
+	NewSearch(sel []int) Search
+}
+
+// Search incrementally evaluates σ around a current selection; it is the
+// workhorse of GreedySigma and AEA. Implementations are not safe for
+// concurrent use.
+type Search interface {
+	// Sigma returns σ of the current selection.
+	Sigma() int
+	// Selection returns a copy of the current candidate indices.
+	Selection() []int
+	// Len returns the current selection size.
+	Len() int
+	// GainAdd returns σ(S ∪ {cand}) − σ(S) without mutating the state.
+	GainAdd(cand int) int
+	// BestAdd returns the candidate with the largest σ gain (ties toward
+	// the lowest candidate index) and that gain.
+	BestAdd() (cand, gain int)
+	// GainsAdd returns σ gains for every candidate. The slice is scratch
+	// state owned by the Search: it is valid until the next call and must
+	// not be retained or modified.
+	GainsAdd() []int
+	// SigmaDrop returns σ(S \ {S[pos]}) without mutating the state.
+	SigmaDrop(pos int) int
+	// BestDrop returns the selection position whose removal leaves the
+	// largest σ (ties toward the lowest position) and that σ.
+	BestDrop() (pos, sigma int)
+	// Add inserts candidate cand into the selection.
+	Add(cand int)
+	// RemoveAt removes the selection element at position pos.
+	RemoveAt(pos int)
+	// Contains reports whether cand is in the current selection.
+	Contains(cand int) bool
+}
+
+// Instance is a single-topology MSC instance. It precomputes the all-pairs
+// distance table once and derives everything else from it. Instances are
+// immutable and safe for concurrent readers.
+type Instance struct {
+	g     *graph.Graph
+	table *shortestpath.Table
+	ps    *pairs.Set
+	thr   failprob.Threshold
+	k     int
+
+	// satisfied0 marks pairs already within d_t in the raw network.
+	satisfied0 *bitset.Set
+
+	// Candidate indexing: candidate i ↔ unordered pair of candidate
+	// nodes. By default every node may host a shortcut endpoint
+	// (candNodes = 0..n-1, N = n(n−1)/2); Options.ExcludePairEndpoints
+	// restricts the universe to non-pair nodes (see EXPERIMENTS.md for
+	// why the paper's Tables I–II imply that restriction).
+	candNodes []graph.NodeID
+	candPos   map[graph.NodeID]int32 // nil when candNodes is the identity
+	numCand   int
+
+	// weights[i] is pair i's importance level (all 1 when unweighted);
+	// totalWeight = Σ weights = MaxSigma.
+	weights     []int32
+	totalWeight int
+	baseSigma   int
+
+	// Lazily-built coverage structures for μ and ν.
+	boundsOnce sync.Once
+	muSets     []*bitset.Set // per candidate: pairs satisfied using only that shortcut
+	nuSets     []*bitset.Set // per candidate: pair-node indices covered
+	nuWeights  []float64     // per pair-node index: ½ × multiplicity
+	nuNodes    []graph.NodeID
+	nuIndex    map[graph.NodeID]int
+}
+
+// Errors returned by NewInstance.
+var (
+	ErrBudget    = errors.New("core: shortcut budget must be at least 1")
+	ErrPairGraph = errors.New("core: pair set node universe does not match graph")
+	ErrTrivial   = errors.New("core: m <= k makes MSC trivial (connect each pair directly)")
+)
+
+// Options tune instance construction.
+type Options struct {
+	// AllowTrivial permits instances with m ≤ k, which the paper excludes
+	// as trivial (§III-C). Tests and examples may enable it.
+	AllowTrivial bool
+	// Table supplies a precomputed distance table (e.g. shared across
+	// thresholds); when nil NewInstance computes one.
+	Table *shortestpath.Table
+	// ExcludePairEndpoints removes the important-pair nodes from the
+	// candidate shortcut universe, so shortcuts may only land on relay
+	// nodes. Under the unrestricted universe greedy-σ trivially gains one
+	// pair per edge by direct connection, which the published Tables I–II
+	// rule out; this option reproduces their regime. Incompatible with
+	// SolveCommonNode (whose shortcuts are incident to a pair node).
+	ExcludePairEndpoints bool
+	// PairWeights assigns an integer importance level ≥ 1 to each pair
+	// (one entry per pair, in pair-set order); σ becomes the total weight
+	// of maintained pairs. Nil means every pair weighs 1 (the paper's
+	// objective). An extension motivated by §VI's observation that "the
+	// importance level of different social pairs may change over time":
+	// the μ/ν sandwich survives weighting (weighted coverage is still
+	// submodular, and a maintained pair still has both endpoints covered),
+	// so every algorithm and guarantee carries over.
+	PairWeights []int
+}
+
+// NewInstance validates and builds an instance.
+func NewInstance(g *graph.Graph, ps *pairs.Set, thr failprob.Threshold, k int, opts *Options) (*Instance, error) {
+	if k < 1 {
+		return nil, ErrBudget
+	}
+	if ps.N() != g.N() {
+		return nil, fmt.Errorf("%w: pairs over %d nodes, graph has %d", ErrPairGraph, ps.N(), g.N())
+	}
+	if ps.Len() <= k && (opts == nil || !opts.AllowTrivial) {
+		return nil, fmt.Errorf("%w: m=%d, k=%d", ErrTrivial, ps.Len(), k)
+	}
+	var table *shortestpath.Table
+	if opts != nil && opts.Table != nil {
+		if opts.Table.N() != g.N() {
+			return nil, fmt.Errorf("core: supplied table covers %d nodes, graph has %d", opts.Table.N(), g.N())
+		}
+		table = opts.Table
+	} else {
+		table = shortestpath.NewTable(g)
+	}
+	inst := &Instance{
+		g:     g,
+		table: table,
+		ps:    ps,
+		thr:   thr,
+		k:     k,
+	}
+	if opts != nil && opts.ExcludePairEndpoints {
+		isPairNode := make(map[graph.NodeID]bool, 2*ps.Len())
+		for _, v := range ps.Nodes() {
+			isPairNode[v] = true
+		}
+		inst.candPos = make(map[graph.NodeID]int32)
+		for v := 0; v < g.N(); v++ {
+			if !isPairNode[graph.NodeID(v)] {
+				inst.candPos[graph.NodeID(v)] = int32(len(inst.candNodes))
+				inst.candNodes = append(inst.candNodes, graph.NodeID(v))
+			}
+		}
+		if len(inst.candNodes) < 2 {
+			return nil, fmt.Errorf("core: fewer than two non-pair candidate nodes")
+		}
+	} else {
+		inst.candNodes = make([]graph.NodeID, g.N())
+		for v := range inst.candNodes {
+			inst.candNodes[v] = graph.NodeID(v)
+		}
+	}
+	inst.numCand = len(inst.candNodes) * (len(inst.candNodes) - 1) / 2
+	inst.weights = make([]int32, ps.Len())
+	if opts != nil && opts.PairWeights != nil {
+		if len(opts.PairWeights) != ps.Len() {
+			return nil, fmt.Errorf("core: %d pair weights for %d pairs", len(opts.PairWeights), ps.Len())
+		}
+		for i, w := range opts.PairWeights {
+			if w < 1 {
+				return nil, fmt.Errorf("core: pair weight %d at index %d must be >= 1", w, i)
+			}
+			inst.weights[i] = int32(w)
+		}
+	} else {
+		for i := range inst.weights {
+			inst.weights[i] = 1
+		}
+	}
+	for _, w := range inst.weights {
+		inst.totalWeight += int(w)
+	}
+	inst.satisfied0 = bitset.New(ps.Len())
+	for i, p := range ps.Pairs() {
+		if table.Dist(p.U, p.W) <= thr.D {
+			inst.satisfied0.Add(i)
+			inst.baseSigma += int(inst.weights[i])
+		}
+	}
+	return inst, nil
+}
+
+// MustNewInstance is NewInstance but panics on error.
+func MustNewInstance(g *graph.Graph, ps *pairs.Set, thr failprob.Threshold, k int, opts *Options) *Instance {
+	inst, err := NewInstance(g, ps, thr, k, opts)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Graph returns the underlying network.
+func (inst *Instance) Graph() *graph.Graph { return inst.g }
+
+// Table returns the precomputed all-pairs distance table.
+func (inst *Instance) Table() *shortestpath.Table { return inst.table }
+
+// Pairs returns the important social pairs.
+func (inst *Instance) Pairs() *pairs.Set { return inst.ps }
+
+// Threshold returns the connectivity requirement.
+func (inst *Instance) Threshold() failprob.Threshold { return inst.thr }
+
+// K returns the shortcut budget.
+func (inst *Instance) K() int { return inst.k }
+
+// N returns the number of nodes.
+func (inst *Instance) N() int { return inst.g.N() }
+
+// MaxSigma returns the largest achievable σ: the total pair weight, which
+// is m when unweighted.
+func (inst *Instance) MaxSigma() int { return inst.totalWeight }
+
+// BaseSigma returns σ(∅): the weight of pairs already satisfied by the
+// raw network.
+func (inst *Instance) BaseSigma() int { return inst.baseSigma }
+
+// PairWeight returns pair i's importance level (1 when unweighted).
+func (inst *Instance) PairWeight(i int) int { return int(inst.weights[i]) }
+
+// NumCandidates returns the candidate-universe size: t(t−1)/2 for t
+// candidate nodes (t = n unless ExcludePairEndpoints was set).
+func (inst *Instance) NumCandidates() int { return inst.numCand }
+
+// CandidateNodes returns the nodes allowed to host shortcut endpoints.
+// Callers must not modify the slice.
+func (inst *Instance) CandidateNodes() []graph.NodeID { return inst.candNodes }
+
+// CandidateEdge maps a dense candidate index to its unordered node pair,
+// using the standard row-major triangular encoding over candidate nodes.
+func (inst *Instance) CandidateEdge(i int) graph.Edge {
+	e := candidateEdge(len(inst.candNodes), i)
+	if inst.candPos == nil {
+		return e
+	}
+	return graph.Edge{U: inst.candNodes[e.U], V: inst.candNodes[e.V]}.Canon()
+}
+
+// CandidateIndex maps an edge to its candidate index. It panics when an
+// endpoint is outside the candidate universe (e.g. a pair node under
+// ExcludePairEndpoints).
+func (inst *Instance) CandidateIndex(e graph.Edge) int {
+	if inst.candPos == nil {
+		return candidateIndex(len(inst.candNodes), e)
+	}
+	pu, okU := inst.candPos[e.U]
+	pv, okV := inst.candPos[e.V]
+	if !okU || !okV {
+		panic(fmt.Sprintf("core: edge (%d,%d) outside restricted candidate universe", e.U, e.V))
+	}
+	return candidateIndex(len(inst.candNodes), graph.Edge{U: graph.NodeID(pu), V: graph.NodeID(pv)})
+}
+
+func candidateEdge(n, i int) graph.Edge {
+	if i < 0 || i >= n*(n-1)/2 {
+		panic(fmt.Sprintf("core: candidate index %d out of range for n=%d", i, n))
+	}
+	// Find u = largest row with rowStart(u) <= i, where
+	// rowStart(u) = u*n - u*(u+1)/2 counts pairs before row u.
+	// Solve quadratically, then correct for rounding.
+	fn := float64(n)
+	u := int(math.Floor((2*fn - 1 - math.Sqrt((2*fn-1)*(2*fn-1)-8*float64(i))) / 2))
+	for rowStart(n, u+1) <= i {
+		u++
+	}
+	for u > 0 && rowStart(n, u) > i {
+		u--
+	}
+	v := u + 1 + (i - rowStart(n, u))
+	return graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)}
+}
+
+func candidateIndex(n int, e graph.Edge) int {
+	c := e.Canon()
+	u, v := int(c.U), int(c.V)
+	if u < 0 || v >= n || u == v {
+		panic(fmt.Sprintf("core: edge (%d,%d) out of range for n=%d", e.U, e.V, n))
+	}
+	return rowStart(n, u) + (v - u - 1)
+}
+
+// rowStart returns the number of unordered pairs (a,b), a<b, with a < u.
+func rowStart(n, u int) int { return u*n - u*(u+1)/2 }
+
+// SelectionEdges converts candidate indices to edges.
+func SelectionEdges(p Problem, sel []int) []graph.Edge {
+	out := make([]graph.Edge, len(sel))
+	for i, c := range sel {
+		out[i] = p.CandidateEdge(c)
+	}
+	return out
+}
+
+// EdgeSelection converts edges to candidate indices.
+func EdgeSelection(p Problem, es []graph.Edge) []int {
+	out := make([]int, len(es))
+	for i, e := range es {
+		out[i] = p.CandidateIndex(e)
+	}
+	return out
+}
+
+// Sigma evaluates σ(F) for the selection via the shortcut-overlay oracle:
+// the total weight of pairs within d_t in G ∪ F.
+func (inst *Instance) Sigma(sel []int) int {
+	if len(sel) == 0 {
+		return inst.baseSigma
+	}
+	ov := shortestpath.NewOverlay(inst.table, SelectionEdges(inst, sel))
+	total := 0
+	for i, p := range inst.ps.Pairs() {
+		if ov.Dist(p.U, p.W) <= inst.thr.D {
+			total += int(inst.weights[i])
+		}
+	}
+	return total
+}
+
+// SigmaEdges is Sigma for an explicit edge set.
+func (inst *Instance) SigmaEdges(es []graph.Edge) int {
+	return inst.Sigma(EdgeSelection(inst, es))
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"msc/internal/graph"
+)
+
+// Placement is the outcome of a placement algorithm: the chosen shortcut
+// edges and the number of social pairs they maintain.
+type Placement struct {
+	// Selection holds candidate indices in selection order.
+	Selection []int
+	// Edges holds the corresponding shortcut edges.
+	Edges []graph.Edge
+	// Sigma is σ(Selection): maintained social pairs (summed over time
+	// instances for dynamic problems).
+	Sigma int
+}
+
+func newPlacement(p Problem, sel []int) Placement {
+	return Placement{
+		Selection: append([]int(nil), sel...),
+		Edges:     SelectionEdges(p, sel),
+		Sigma:     p.Sigma(sel),
+	}
+}
+
+// String renders the placement compactly, e.g.
+// "σ=12 F={(3,17), (5,40)}".
+func (pl Placement) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "σ=%d F={", pl.Sigma)
+	for i, e := range pl.Edges {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d,%d)", e.U, e.V)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

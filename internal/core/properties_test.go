@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"msc/internal/graph"
+	"msc/internal/xrand"
+)
+
+// Property: σ is invariant to selection order and duplicates (a selection
+// is a set of edges; a duplicated candidate adds a parallel zero-length
+// edge, which changes nothing).
+func TestSigmaSetSemantics(t *testing.T) {
+	rng := xrand.New(401)
+	inst := testInstance(t, 15, 6, 3, 0.8, rng)
+	for rep := 0; rep < 30; rep++ {
+		sel := rng.SampleDistinct(inst.NumCandidates(), 1+rng.Intn(4))
+		shuffled := append([]int(nil), sel...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if inst.Sigma(sel) != inst.Sigma(shuffled) {
+			t.Fatalf("σ not order-invariant: %v vs %v", sel, shuffled)
+		}
+		dup := append(append([]int(nil), sel...), sel[0])
+		if inst.Sigma(sel) != inst.Sigma(dup) {
+			t.Fatalf("σ changed under duplicate candidate: %v", dup)
+		}
+	}
+}
+
+// Property: adding any candidate never decreases σ, μ, or ν (monotone in
+// F — σ by shorter paths, μ/ν as coverage unions).
+func TestAllObjectivesMonotoneUnderAddition(t *testing.T) {
+	rng := xrand.New(402)
+	inst := testInstance(t, 14, 6, 3, 0.8, rng)
+	for rep := 0; rep < 30; rep++ {
+		sel := rng.SampleDistinct(inst.NumCandidates(), rng.Intn(4))
+		extra := rng.Intn(inst.NumCandidates())
+		bigger := append(append([]int(nil), sel...), extra)
+		if inst.Sigma(bigger) < inst.Sigma(sel) {
+			t.Fatalf("σ decreased adding %d to %v", extra, sel)
+		}
+		if inst.Mu(bigger) < inst.Mu(sel)-1e-9 {
+			t.Fatalf("μ decreased adding %d to %v", extra, sel)
+		}
+		if inst.Nu(bigger) < inst.Nu(sel)-1e-9 {
+			t.Fatalf("ν decreased adding %d to %v", extra, sel)
+		}
+	}
+}
+
+// Property: σ is bounded by m, and connecting every pair directly
+// saturates it exactly.
+func TestSigmaSaturation(t *testing.T) {
+	rng := xrand.New(403)
+	inst := testInstance(t, 12, 4, 4, 0.8, rng)
+	direct := make([]int, inst.Pairs().Len())
+	for i, p := range inst.Pairs().Pairs() {
+		direct[i] = inst.CandidateIndex(edgeOf(p.U, p.W))
+	}
+	if got := inst.Sigma(direct); got != inst.MaxSigma() {
+		t.Fatalf("direct connections σ = %d, want m = %d", got, inst.MaxSigma())
+	}
+}
+
+// Property: greedy σ values dominate random placements of the same budget
+// in expectation; check against the best of a small random pool on many
+// instances (greedy can lose to lucky draws on pathological instances,
+// so compare against the pool's mean).
+func TestGreedyBeatsAverageRandom(t *testing.T) {
+	rng := xrand.New(404)
+	lossCount := 0
+	const instances = 8
+	for i := 0; i < instances; i++ {
+		inst := testInstance(t, 16, 8, 3, 0.9, rng)
+		greedy := GreedySigma(inst).Sigma
+		total := 0
+		const draws = 20
+		for d := 0; d < draws; d++ {
+			sel := rng.SampleDistinct(inst.NumCandidates(), inst.K())
+			total += inst.Sigma(sel)
+		}
+		if float64(greedy) < float64(total)/draws {
+			lossCount++
+		}
+	}
+	if lossCount > 1 {
+		t.Fatalf("greedy lost to the random average on %d/%d instances", lossCount, instances)
+	}
+}
+
+func edgeOf(u, w graph.NodeID) graph.Edge {
+	return graph.Edge{U: u, V: w}.Canon()
+}

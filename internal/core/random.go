@@ -1,0 +1,24 @@
+package core
+
+import "msc/internal/xrand"
+
+// RandomPlacement is the baseline of §VII-C: draw trials independent
+// uniform placements of k distinct shortcut edges and keep the one
+// maintaining the most social pairs (the paper uses trials = 500).
+func RandomPlacement(p Problem, trials int, rng *xrand.Rand) Placement {
+	numCand := p.NumCandidates()
+	k := p.K()
+	if k > numCand {
+		k = numCand
+	}
+	var bestSel []int
+	bestSigma := -1
+	for t := 0; t < trials; t++ {
+		sel := rng.SampleDistinct(numCand, k)
+		if sigma := p.Sigma(sel); sigma > bestSigma {
+			bestSigma = sigma
+			bestSel = sel
+		}
+	}
+	return newPlacement(p, bestSel)
+}

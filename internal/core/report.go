@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msc/internal/failprob"
+	"msc/internal/pairs"
+	"msc/internal/shortestpath"
+)
+
+// PairStatus describes one important social pair under a placement: the
+// operator-facing diagnostic behind "which connections did my budget buy".
+type PairStatus struct {
+	Pair pairs.Pair
+	// Before/After are the best-path failure probabilities without and
+	// with the placement (1 means unreachable).
+	Before, After float64
+	// Maintained reports whether After meets the threshold.
+	Maintained bool
+	// MaintainedBefore reports whether the raw network already met it.
+	MaintainedBefore bool
+	// UsesShortcut reports whether the best path actually improved, i.e.
+	// the placement (not the raw network) is responsible for After.
+	UsesShortcut bool
+}
+
+// Report evaluates a placement pair by pair. Results are ordered as in the
+// instance's pair set.
+func (inst *Instance) Report(sel []int) []PairStatus {
+	ov := shortestpath.NewOverlay(inst.table, SelectionEdges(inst, sel))
+	out := make([]PairStatus, inst.ps.Len())
+	for i, p := range inst.ps.Pairs() {
+		before := inst.table.Dist(p.U, p.W)
+		after := ov.Dist(p.U, p.W)
+		st := PairStatus{
+			Pair:             p,
+			Before:           failprob.ProbFromLength(before),
+			After:            failprob.ProbFromLength(after),
+			Maintained:       after <= inst.thr.D,
+			MaintainedBefore: before <= inst.thr.D,
+			UsesShortcut:     after < before,
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Summary condenses a Report for printing: counts plus the worst remaining
+// pair.
+type Summary struct {
+	Total            int
+	Maintained       int
+	NewlyMaintained  int
+	ImprovedButShort int // improved by a shortcut yet still over threshold
+	WorstAfter       float64
+}
+
+// Summarize aggregates pair statuses.
+func Summarize(statuses []PairStatus) Summary {
+	s := Summary{Total: len(statuses)}
+	for _, st := range statuses {
+		if st.Maintained {
+			s.Maintained++
+			if !st.MaintainedBefore {
+				s.NewlyMaintained++
+			}
+		} else if st.UsesShortcut {
+			s.ImprovedButShort++
+		}
+		if st.After > s.WorstAfter {
+			s.WorstAfter = st.After
+		}
+	}
+	return s
+}
+
+// FormatReport renders pair statuses as an aligned table, worst pairs
+// first, for CLI output.
+func FormatReport(statuses []PairStatus) string {
+	sorted := append([]PairStatus(nil), statuses...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].After > sorted[j].After
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-10s %-10s %-11s %s\n", "pair", "p_before", "p_after", "maintained", "via")
+	for _, st := range sorted {
+		via := "-"
+		if st.UsesShortcut {
+			via = "shortcut"
+		} else if st.MaintainedBefore {
+			via = "base path"
+		}
+		fmt.Fprintf(&sb, "%-12s %-10.4f %-10.4f %-11v %s\n",
+			st.Pair.String(), st.Before, st.After, st.Maintained, via)
+	}
+	return sb.String()
+}
+
+// GreedySigmaCurve returns the greedy budget curve: curve[j] is σ after
+// the first j greedy shortcuts (curve[0] is the baseline). Practitioners
+// use it to answer "how much budget do I actually need" — the marginal
+// value of every additional reliable link, in one greedy run.
+func GreedySigmaCurve(p Problem) []int {
+	s := p.NewSearch(nil)
+	curve := []int{s.Sigma()}
+	for s.Len() < p.K() {
+		cand, gain := s.BestAdd()
+		if gain <= 0 {
+			break
+		}
+		s.Add(cand)
+		curve = append(curve, s.Sigma())
+	}
+	return curve
+}

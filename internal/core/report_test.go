@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"msc/internal/xrand"
+)
+
+func TestReportConsistentWithSigma(t *testing.T) {
+	rng := xrand.New(201)
+	inst := testInstance(t, 16, 7, 3, 0.8, rng)
+	sel := GreedySigma(inst).Selection
+	statuses := inst.Report(sel)
+	if len(statuses) != inst.Pairs().Len() {
+		t.Fatalf("report length %d", len(statuses))
+	}
+	maintained := 0
+	for _, st := range statuses {
+		if st.Maintained {
+			maintained++
+		}
+		if st.After > st.Before+1e-12 {
+			t.Fatalf("pair %v got worse: %v -> %v", st.Pair, st.Before, st.After)
+		}
+		if st.UsesShortcut && st.After >= st.Before {
+			t.Fatalf("pair %v claims shortcut without improvement", st.Pair)
+		}
+		if st.MaintainedBefore && !st.Maintained {
+			t.Fatalf("pair %v lost maintenance by adding edges", st.Pair)
+		}
+	}
+	if maintained != inst.Sigma(sel) {
+		t.Fatalf("report maintained %d != σ %d", maintained, inst.Sigma(sel))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rng := xrand.New(202)
+	inst := testInstance(t, 16, 7, 3, 0.8, rng)
+	sel := GreedySigma(inst).Selection
+	statuses := inst.Report(sel)
+	s := Summarize(statuses)
+	if s.Total != len(statuses) {
+		t.Fatalf("total %d", s.Total)
+	}
+	if s.Maintained != inst.Sigma(sel) {
+		t.Fatalf("maintained %d != σ %d", s.Maintained, inst.Sigma(sel))
+	}
+	if s.NewlyMaintained != s.Maintained-inst.BaseSigma() {
+		t.Fatalf("newly maintained %d, σ %d, base %d", s.NewlyMaintained, s.Maintained, inst.BaseSigma())
+	}
+	if s.WorstAfter < 0 || s.WorstAfter > 1 {
+		t.Fatalf("worst after %v", s.WorstAfter)
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	rng := xrand.New(203)
+	inst := testInstance(t, 12, 5, 2, 0.8, rng)
+	out := FormatReport(inst.Report(GreedySigma(inst).Selection))
+	if !strings.Contains(out, "p_before") || !strings.Contains(out, "maintained") {
+		t.Fatalf("report header missing:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != inst.Pairs().Len()+1 {
+		t.Fatal("row count wrong")
+	}
+}
+
+func TestGreedySigmaCurve(t *testing.T) {
+	rng := xrand.New(204)
+	inst := testInstance(t, 18, 8, 4, 0.8, rng)
+	curve := GreedySigmaCurve(inst)
+	if curve[0] != inst.BaseSigma() {
+		t.Fatalf("curve[0] = %d, want baseline %d", curve[0], inst.BaseSigma())
+	}
+	if len(curve) > inst.K()+1 {
+		t.Fatalf("curve length %d exceeds k+1", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] <= curve[i-1] {
+			t.Fatalf("curve not strictly increasing at %d: %v", i, curve)
+		}
+	}
+	// The final point must match GreedySigma's result.
+	if got := GreedySigma(inst).Sigma; curve[len(curve)-1] != got {
+		t.Fatalf("curve end %d != greedy σ %d", curve[len(curve)-1], got)
+	}
+}
+
+func TestLocalSearchOnlyImproves(t *testing.T) {
+	rng := xrand.New(205)
+	inst := testInstance(t, 16, 8, 3, 0.9, rng)
+	for trial := 0; trial < 5; trial++ {
+		start := rng.SampleDistinct(inst.NumCandidates(), inst.K())
+		before := inst.Sigma(start)
+		refined := LocalSearch(inst, start, LocalSearchOptions{})
+		if refined.Sigma < before {
+			t.Fatalf("local search worsened: %d -> %d", before, refined.Sigma)
+		}
+		if len(refined.Edges) != len(start) {
+			t.Fatalf("local search changed budget: %d -> %d", len(start), len(refined.Edges))
+		}
+	}
+}
+
+func TestLocalSearchReachesSwapOptimum(t *testing.T) {
+	rng := xrand.New(206)
+	inst := testInstance(t, 14, 6, 2, 0.9, rng)
+	refined := LocalSearch(inst, rng.SampleDistinct(inst.NumCandidates(), 2), LocalSearchOptions{})
+	// At a swap-local optimum, no single (drop, add) improves σ.
+	sel := refined.Selection
+	for pos := range sel {
+		rest := make([]int, 0, len(sel)-1)
+		rest = append(rest, sel[:pos]...)
+		rest = append(rest, sel[pos+1:]...)
+		sub := inst.NewSearch(rest)
+		_, gain := sub.BestAdd()
+		if sub.Sigma()+gain > refined.Sigma {
+			t.Fatalf("swap improvement still available at pos %d", pos)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import "math"
+
+// SandwichResult reports the approximation algorithm AA of §V-B: the best
+// of three greedy arms together with the data-dependent approximation
+// bound of Eq. (5).
+type SandwichResult struct {
+	// Best is argmax_{F ∈ {FMu, FSigma, FNu}} σ(F).
+	Best Placement
+	// FMu, FSigma, FNu are the three greedy arms.
+	FMu, FSigma, FNu Placement
+	// Ratio is σ(F_σ)/ν(F_σ), the computable factor of the bound: AA is
+	// guaranteed at least Ratio · (1 − 1/e) of the optimum (the paper's
+	// practical form of Eq. (5); Tables I and II report this Ratio).
+	Ratio float64
+	// ApproxFactor is Ratio · (1 − 1/e).
+	ApproxFactor float64
+	// NuAtFSigma is ν(F_σ), kept for diagnostics.
+	NuAtFSigma float64
+}
+
+// Sandwich runs the approximation algorithm (AA): greedy placements for the
+// lower bound μ, the objective σ itself, and the upper bound ν, returning
+// the one that maintains the most social pairs. Per Eq. (5),
+//
+//	σ(F_app) ≥ (σ(F_σ)/ν(F_σ)) · (1 − 1/e) · σ(F*).
+func Sandwich(p Problem) SandwichResult {
+	res := SandwichResult{
+		FMu:    GreedyMu(p),
+		FSigma: GreedySigma(p),
+		FNu:    GreedyNu(p),
+	}
+	res.Best = res.FMu
+	if res.FSigma.Sigma > res.Best.Sigma {
+		res.Best = res.FSigma
+	}
+	if res.FNu.Sigma > res.Best.Sigma {
+		res.Best = res.FNu
+	}
+	res.NuAtFSigma = p.Nu(res.FSigma.Selection)
+	if res.NuAtFSigma > 0 {
+		res.Ratio = float64(res.FSigma.Sigma) / res.NuAtFSigma
+	} else {
+		res.Ratio = 1 // ν ≥ σ ≥ 0; ν == 0 forces σ == 0 too
+	}
+	res.ApproxFactor = res.Ratio * (1 - 1/math.E)
+	return res
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"msc/internal/graph"
+	"msc/internal/shortestpath"
+)
+
+// instSearch is the incremental σ evaluator for a single-topology Instance.
+//
+// It maintains, for the current placement F, the full distance row
+// d_F(e, ·) of every distinct pair endpoint e. With those rows in hand, the
+// marginal effect of adding one more shortcut f=(a,b) is exact and O(1) per
+// pair:
+//
+//	d_{F∪{f}}(u,w) = min( d_F(u,w),
+//	                      d_F(u,a) + d_F(b,w),
+//	                      d_F(u,b) + d_F(a,w) )
+//
+// (a walk through f more than once can drop the repeat uses without getting
+// longer, since edge lengths are non-negative and f itself has length 0).
+// This is what lets GreedySigma and AEA scan all O(n²) candidate additions
+// per round with a tight two-float-compare inner loop instead of re-running
+// a shortest-path computation per candidate.
+type instSearch struct {
+	inst *Instance
+	sel  []int
+
+	endpoints []graph.NodeID // distinct pair endpoints
+	rows      [][]float64    // rows[i][x] = d_F(endpoints[i], x)
+	pairU     []int32        // row index of pair i's U endpoint
+	pairW     []int32        // row index of pair i's W endpoint
+	pairDist  []float64      // d_F(u,w) per pair
+	gains     []int          // scratch for BestAdd, len NumCandidates
+	sigma     int
+}
+
+var _ Search = (*instSearch)(nil)
+
+// NewSearch returns an incremental evaluator positioned at sel (copied).
+func (inst *Instance) NewSearch(sel []int) Search {
+	s := &instSearch{
+		inst:      inst,
+		sel:       append([]int(nil), sel...),
+		endpoints: inst.ps.Nodes(),
+	}
+	rowIdx := make(map[graph.NodeID]int, len(s.endpoints))
+	for i, e := range s.endpoints {
+		rowIdx[e] = i
+	}
+	s.rows = make([][]float64, len(s.endpoints))
+	for i := range s.rows {
+		s.rows[i] = make([]float64, inst.g.N())
+	}
+	m := inst.ps.Len()
+	s.pairU = make([]int32, m)
+	s.pairW = make([]int32, m)
+	for i, p := range inst.ps.Pairs() {
+		s.pairU[i] = int32(rowIdx[p.U])
+		s.pairW[i] = int32(rowIdx[p.W])
+	}
+	s.pairDist = make([]float64, m)
+	s.rebuild()
+	return s
+}
+
+func (s *instSearch) rebuild() {
+	ov := shortestpath.NewOverlay(s.inst.table, SelectionEdges(s.inst, s.sel))
+	for i, e := range s.endpoints {
+		ov.DistRow(e, s.rows[i])
+	}
+	s.sigma = 0
+	for i, p := range s.inst.ps.Pairs() {
+		d := s.rows[s.pairU[i]][p.W]
+		s.pairDist[i] = d
+		if d <= s.inst.thr.D {
+			s.sigma += int(s.inst.weights[i])
+		}
+	}
+}
+
+func (s *instSearch) Sigma() int { return s.sigma }
+
+func (s *instSearch) Selection() []int { return append([]int(nil), s.sel...) }
+
+func (s *instSearch) Len() int { return len(s.sel) }
+
+func (s *instSearch) Contains(cand int) bool {
+	for _, c := range s.sel {
+		if c == cand {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *instSearch) GainAdd(cand int) int {
+	e := s.inst.CandidateEdge(cand)
+	a, b := e.U, e.V
+	dt := s.inst.thr.D
+	gain := 0
+	for i := range s.pairDist {
+		if s.pairDist[i] <= dt {
+			continue // already satisfied; adding edges cannot unsatisfy
+		}
+		ru := s.rows[s.pairU[i]]
+		rw := s.rows[s.pairW[i]]
+		if ru[a]+rw[b] <= dt || ru[b]+rw[a] <= dt {
+			gain += int(s.inst.weights[i])
+		}
+	}
+	return gain
+}
+
+// BestAdd scans every candidate shortcut and returns the one with the
+// largest σ gain (ties toward the lowest candidate index) together with
+// that gain. Candidates already in the selection naturally score 0: their
+// zero-length edge is already reflected in d_F.
+func (s *instSearch) BestAdd() (cand, gain int) {
+	gains := s.GainsAdd()
+	best, bestGain := 0, gains[0]
+	for i := 1; i < len(gains); i++ {
+		if gains[i] > bestGain {
+			best, bestGain = i, gains[i]
+		}
+	}
+	return best, bestGain
+}
+
+// GainsAdd computes the σ gain of every candidate addition in one fused
+// scan: for each unsatisfied pair it walks the candidate grid with two
+// float compares per cell. The returned slice is reused across calls.
+func (s *instSearch) GainsAdd() []int {
+	nodes := s.inst.candNodes
+	t := len(nodes)
+	if s.gains == nil {
+		s.gains = make([]int, s.inst.numCand)
+	} else {
+		for i := range s.gains {
+			s.gains[i] = 0
+		}
+	}
+	dt := s.inst.thr.D
+	for i := range s.pairDist {
+		if s.pairDist[i] <= dt {
+			continue
+		}
+		w := int(s.inst.weights[i])
+		ru := s.rows[s.pairU[i]]
+		rw := s.rows[s.pairW[i]]
+		idx := 0
+		for ai := 0; ai < t; ai++ {
+			a := nodes[ai]
+			ca := dt - ru[a] // candidate satisfies via (u..a, b..w) iff rw[b] <= ca
+			cb := dt - rw[a] // ... or via (u..b, a..w) iff ru[b] <= cb
+			for bi := ai + 1; bi < t; bi++ {
+				b := nodes[bi]
+				if rw[b] <= ca || ru[b] <= cb {
+					s.gains[idx] += w
+				}
+				idx++
+			}
+		}
+	}
+	return s.gains
+}
+
+func (s *instSearch) SigmaDrop(pos int) int {
+	rest := make([]int, 0, len(s.sel)-1)
+	rest = append(rest, s.sel[:pos]...)
+	rest = append(rest, s.sel[pos+1:]...)
+	return s.inst.Sigma(rest)
+}
+
+// BestDrop returns the selection position whose removal leaves the largest
+// σ (ties toward the lowest position) and that σ. It panics on an empty
+// selection.
+func (s *instSearch) BestDrop() (pos, sigma int) {
+	if len(s.sel) == 0 {
+		panic("core: BestDrop on empty selection")
+	}
+	pos, sigma = 0, s.SigmaDrop(0)
+	for i := 1; i < len(s.sel); i++ {
+		if sig := s.SigmaDrop(i); sig > sigma {
+			pos, sigma = i, sig
+		}
+	}
+	return pos, sigma
+}
+
+func (s *instSearch) Add(cand int) {
+	s.sel = append(s.sel, cand)
+	s.rebuild()
+}
+
+func (s *instSearch) RemoveAt(pos int) {
+	s.sel = append(s.sel[:pos], s.sel[pos+1:]...)
+	s.rebuild()
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+	"msc/internal/shortestpath"
+	"msc/internal/submodular"
+	"msc/internal/xrand"
+)
+
+// weightedInstance builds a random instance with random integer pair
+// importance levels in [1, 5].
+func weightedInstance(t *testing.T, n, m, k int, dt float64, rng *xrand.Rand) *Instance {
+	t.Helper()
+	g := randomConnectedGraph(t, n, 2*n, rng)
+	table := shortestpathTable(g)
+	ps, err := pairs.SampleViolating(table, dt, m, rng)
+	if err != nil {
+		t.Skipf("could not sample pairs: %v", err)
+	}
+	weights := make([]int, m)
+	for i := range weights {
+		weights[i] = 1 + rng.Intn(5)
+	}
+	inst, err := NewInstance(g, ps, thrD(dt), k, &Options{
+		AllowTrivial: true, Table: table, PairWeights: weights,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestWeightValidation(t *testing.T) {
+	g := graph.NewBuilder(4).AddEdge(0, 1, 1).MustBuild()
+	ps := pairs.MustNewSet(4, []pairs.Pair{{U: 0, W: 2}, {U: 1, W: 3}})
+	thr := failprob.NewThreshold(0.2)
+	if _, err := NewInstance(g, ps, thr, 1, &Options{AllowTrivial: true, PairWeights: []int{1}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewInstance(g, ps, thr, 1, &Options{AllowTrivial: true, PairWeights: []int{1, 0}}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	inst, err := NewInstance(g, ps, thr, 1, &Options{AllowTrivial: true, PairWeights: []int{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.MaxSigma() != 7 || inst.PairWeight(1) != 4 {
+		t.Fatalf("weights not recorded: max=%d w1=%d", inst.MaxSigma(), inst.PairWeight(1))
+	}
+}
+
+// naiveWeightedSigma recomputes weighted σ from scratch with independent
+// Dijkstras on the materialized augmented graph.
+func naiveWeightedSigma(inst *Instance, sel []int) int {
+	edges := SelectionEdges(inst, sel)
+	total := 0
+	for i, p := range inst.Pairs().Pairs() {
+		dist := shortestpath.AugmentedDistances(inst.Graph(), edges, p.U)
+		if dist[p.W] <= inst.Threshold().D {
+			total += inst.PairWeight(i)
+		}
+	}
+	return total
+}
+
+func TestWeightedSigmaMatchesNaive(t *testing.T) {
+	rng := xrand.New(501)
+	inst := weightedInstance(t, 16, 7, 3, 0.8, rng)
+	for rep := 0; rep < 15; rep++ {
+		sel := rng.SampleDistinct(inst.NumCandidates(), rng.Intn(4))
+		if got, want := inst.Sigma(sel), naiveWeightedSigma(inst, sel); got != want {
+			t.Fatalf("Sigma(%v) = %d, want %d", sel, got, want)
+		}
+	}
+}
+
+func TestWeightedSearchConsistent(t *testing.T) {
+	rng := xrand.New(502)
+	inst := weightedInstance(t, 15, 6, 3, 0.9, rng)
+	sel := rng.SampleDistinct(inst.NumCandidates(), 2)
+	s := inst.NewSearch(sel)
+	if s.Sigma() != inst.Sigma(sel) {
+		t.Fatalf("search σ %d != %d", s.Sigma(), inst.Sigma(sel))
+	}
+	gains := s.GainsAdd()
+	for c := 0; c < inst.NumCandidates(); c += 3 {
+		want := inst.Sigma(append(append([]int(nil), sel...), c)) - inst.Sigma(sel)
+		if s.GainAdd(c) != want || gains[c] != want {
+			t.Fatalf("gain(%d): GainAdd=%d GainsAdd=%d want %d", c, s.GainAdd(c), gains[c], want)
+		}
+	}
+}
+
+func TestWeightedBoundsSandwichSigma(t *testing.T) {
+	rng := xrand.New(503)
+	for trial := 0; trial < 6; trial++ {
+		inst := weightedInstance(t, 14, 6, 3, 0.8, rng)
+		for rep := 0; rep < 15; rep++ {
+			sel := rng.SampleDistinct(inst.NumCandidates(), rng.Intn(4))
+			sigma := float64(inst.Sigma(sel))
+			if mu := inst.Mu(sel); mu > sigma+1e-9 {
+				t.Fatalf("weighted μ=%v > σ=%v", mu, sigma)
+			}
+			if nu := inst.Nu(sel); nu < sigma-1e-9 {
+				t.Fatalf("weighted ν=%v < σ=%v", nu, sigma)
+			}
+		}
+	}
+}
+
+func TestWeightedMuNuStillSubmodular(t *testing.T) {
+	rng := xrand.New(504)
+	inst := weightedInstance(t, 12, 5, 3, 0.8, rng)
+	cands := rng.SampleDistinct(inst.NumCandidates(), 6)
+	mu := restrictedValue(cands, inst.Mu)
+	if ok, w := submodular.IsSubmodular(len(cands), mu); !ok {
+		t.Fatalf("weighted μ not submodular: %+v", w)
+	}
+	nu := restrictedValue(cands, inst.Nu)
+	if ok, w := submodular.IsSubmodular(len(cands), nu); !ok {
+		t.Fatalf("weighted ν not submodular: %+v", w)
+	}
+}
+
+func TestWeightedGreedyPrefersHeavyPair(t *testing.T) {
+	// Two isolated violating pairs; one weighs 10, the other 1, budget 1:
+	// greedy must serve the heavy pair.
+	g := graph.NewBuilder(4).MustBuild() // no edges at all
+	ps := pairs.MustNewSet(4, []pairs.Pair{{U: 0, W: 1}, {U: 2, W: 3}})
+	inst, err := NewInstance(g, ps, failprob.NewThreshold(0.3), 1, &Options{
+		AllowTrivial: true, PairWeights: []int{1, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := GreedySigma(inst)
+	if pl.Sigma != 10 {
+		t.Fatalf("greedy σ = %d, want 10 (serve the heavy pair)", pl.Sigma)
+	}
+	if len(pl.Edges) != 1 || pl.Edges[0].U != 2 || pl.Edges[0].V != 3 {
+		t.Fatalf("greedy placed %v, want (2,3)", pl.Edges)
+	}
+}
+
+func TestWeightedSandwichBoundAgainstExhaustive(t *testing.T) {
+	rng := xrand.New(505)
+	for trial := 0; trial < 4; trial++ {
+		inst := weightedInstance(t, 10, 5, 2, 0.8, rng)
+		res := Sandwich(inst)
+		opt, err := Exhaustive(inst, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best.Sigma > opt.Sigma {
+			t.Fatalf("AA %d beats optimum %d", res.Best.Sigma, opt.Sigma)
+		}
+		if float64(res.Best.Sigma) < res.ApproxFactor*float64(opt.Sigma)-1e-9 {
+			t.Fatalf("weighted sandwich bound violated: σ=%d factor=%v opt=%d",
+				res.Best.Sigma, res.ApproxFactor, opt.Sigma)
+		}
+	}
+}
+
+func TestWeightedCommonNodeReduction(t *testing.T) {
+	rng := xrand.New(506)
+	for trial := 0; trial < 5; trial++ {
+		g := randomConnectedGraph(t, 18, 28, rng)
+		table := shortestpathTable(g)
+		ps, err := pairs.SampleViolatingWithCommonNode(table, 0.9, 6, 0, rng)
+		if err != nil {
+			continue
+		}
+		weights := make([]int, ps.Len())
+		for i := range weights {
+			weights[i] = 1 + rng.Intn(4)
+		}
+		inst, err := NewInstance(g, ps, thrD(0.9), 2, &Options{
+			AllowTrivial: true, Table: table, PairWeights: weights,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveCommonNode(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coverage != res.Placement.Sigma {
+			t.Fatalf("weighted CN coverage %d != σ %d", res.Coverage, res.Placement.Sigma)
+		}
+	}
+}

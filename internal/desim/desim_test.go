@@ -1,0 +1,239 @@
+package desim
+
+import (
+	"math"
+	"testing"
+
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/mobility"
+	"msc/internal/netbuild"
+	"msc/internal/pairs"
+	"msc/internal/xrand"
+)
+
+func chain(t *testing.T, probs []float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(len(probs) + 1)
+	for i, p := range probs {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), failprob.LengthFromProb(p))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDeliveryMatchesAnalyticNoRetries(t *testing.T) {
+	// 2-hop chain at 30% per hop, no retries: delivery = 0.7² = 0.49.
+	g := chain(t, []float64{0.3, 0.3})
+	res, err := Run(Config{
+		Topology:        Static{G: g},
+		Flows:           []Flow{{Pair: pairs.New(0, 2), PeriodSeconds: 1}},
+		DurationSeconds: 20000,
+		HopSeconds:      0.01,
+		MaxRetries:      0,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.PerFlow[0]
+	if fs.Sent < 19000 {
+		t.Fatalf("sent = %d", fs.Sent)
+	}
+	if math.Abs(fs.DeliveryRatio-0.49) > 0.02 {
+		t.Fatalf("delivery = %v, want ≈ 0.49", fs.DeliveryRatio)
+	}
+	if fs.Delivered+fs.Dropped+fs.Unroutable != fs.Sent {
+		t.Fatalf("accounting broken: %+v", fs)
+	}
+	// Two hops at 0.01 s each: delivered latency ≥ 0.02 s.
+	if fs.AvgLatencySeconds < 0.02-1e-9 {
+		t.Fatalf("latency = %v", fs.AvgLatencySeconds)
+	}
+}
+
+func TestRetriesImproveDelivery(t *testing.T) {
+	g := chain(t, []float64{0.4, 0.4})
+	run := func(retries int) float64 {
+		res, err := Run(Config{
+			Topology:        Static{G: g},
+			Flows:           []Flow{{Pair: pairs.New(0, 2), PeriodSeconds: 1}},
+			DurationSeconds: 10000,
+			HopSeconds:      0.01,
+			MaxRetries:      retries,
+			Seed:            2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.DeliveryRatio
+	}
+	r0, r2 := run(0), run(2)
+	// With 2 retries per hop: per-hop success 1-0.4³ = 0.936 → ≈ 0.876.
+	if r2 <= r0 {
+		t.Fatalf("retries did not help: %v vs %v", r0, r2)
+	}
+	if math.Abs(r2-0.876) > 0.03 {
+		t.Fatalf("r2 = %v, want ≈ 0.876", r2)
+	}
+}
+
+func TestShortcutsDeliverPerfectly(t *testing.T) {
+	g := chain(t, []float64{0.5, 0.5, 0.5})
+	res, err := Run(Config{
+		Topology:        Static{G: g},
+		Shortcuts:       []graph.Edge{{U: 0, V: 3}},
+		Flows:           []Flow{{Pair: pairs.New(0, 3), PeriodSeconds: 1}},
+		DurationSeconds: 500,
+		HopSeconds:      0.01,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio != 1 {
+		t.Fatalf("shortcut delivery = %v, want 1", res.DeliveryRatio)
+	}
+	// One hop only.
+	if res.PerFlow[0].AvgLatencySeconds > 0.011 {
+		t.Fatalf("latency = %v", res.PerFlow[0].AvgLatencySeconds)
+	}
+}
+
+func TestUnroutableCounted(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, failprob.LengthFromProb(0.1))
+	b.AddEdge(2, 3, failprob.LengthFromProb(0.1))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology:        Static{G: g},
+		Flows:           []Flow{{Pair: pairs.New(0, 3), PeriodSeconds: 1}},
+		DurationSeconds: 10,
+		HopSeconds:      0.01,
+		Seed:            4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.PerFlow[0]
+	if fs.Unroutable != fs.Sent || fs.Delivered != 0 {
+		t.Fatalf("disconnected pair stats: %+v", fs)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := chain(t, []float64{0.1})
+	valid := Config{
+		Topology:        Static{G: g},
+		Flows:           []Flow{{Pair: pairs.New(0, 1), PeriodSeconds: 1}},
+		DurationSeconds: 1,
+		HopSeconds:      0.01,
+	}
+	cases := []func(Config) Config{
+		func(c Config) Config { c.Topology = nil; return c },
+		func(c Config) Config { c.Flows = nil; return c },
+		func(c Config) Config { c.DurationSeconds = 0; return c },
+		func(c Config) Config { c.HopSeconds = 0; return c },
+		func(c Config) Config { c.Flows = []Flow{{Pair: pairs.New(0, 1)}}; return c },
+	}
+	for i, mod := range cases {
+		if _, err := Run(mod(valid)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := Run(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	g := chain(t, []float64{0.3, 0.3})
+	cfg := Config{
+		Topology:        Static{G: g},
+		Flows:           PeriodicFlows([]pairs.Pair{pairs.New(0, 2), pairs.New(1, 2)}, 1),
+		DurationSeconds: 200,
+		HopSeconds:      0.01,
+		MaxRetries:      1,
+		Seed:            7,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerFlow {
+		if a.PerFlow[i] != b.PerFlow[i] {
+			t.Fatalf("nondeterministic flow %d: %+v vs %+v", i, a.PerFlow[i], b.PerFlow[i])
+		}
+	}
+}
+
+func TestTraceProviderSwitchesTopologies(t *testing.T) {
+	cfg := mobility.DefaultConfig()
+	cfg.Nodes = 20
+	cfg.Groups = 4
+	cfg.Steps = 5
+	tr, err := mobility.Generate(cfg, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := netbuild.FailureModel{Radius: 900, FailureAtRadius: 0.2}
+	tp, err := NewTraceProvider(tr, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.N() != 20 {
+		t.Fatalf("N = %d", tp.N())
+	}
+	_, e0 := tp.TopologyAt(0)
+	_, e1 := tp.TopologyAt(cfg.StepSeconds * 1.5)
+	if e0 == e1 {
+		t.Fatal("epoch did not advance with time")
+	}
+	// Clamps beyond the trace end.
+	_, eEnd := tp.TopologyAt(1e9)
+	if eEnd != cfg.Steps-1 {
+		t.Fatalf("end epoch = %d", eEnd)
+	}
+	// A full simulation across topology switches runs clean.
+	res, err := Run(Config{
+		Topology:        tp,
+		Flows:           PeriodicFlows([]pairs.Pair{pairs.New(0, 19)}, 7),
+		DurationSeconds: cfg.StepSeconds * float64(cfg.Steps),
+		HopSeconds:      0.05,
+		MaxRetries:      1,
+		Seed:            13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerFlow[0].Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+}
+
+func TestPeriodicFlowsStagger(t *testing.T) {
+	flows := PeriodicFlows([]pairs.Pair{pairs.New(0, 1), pairs.New(1, 2), pairs.New(0, 2)}, 3)
+	if len(flows) != 3 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	seen := map[float64]bool{}
+	for _, f := range flows {
+		if f.PeriodSeconds != 3 {
+			t.Fatalf("period = %v", f.PeriodSeconds)
+		}
+		if seen[f.StartSeconds] {
+			t.Fatalf("starts collide: %v", f.StartSeconds)
+		}
+		seen[f.StartSeconds] = true
+	}
+}

@@ -1,0 +1,324 @@
+// Package dynamic extends the MSC problem to dynamic networks (paper §VI).
+//
+// A dynamic network is a series of topologies G_1..G_T over a fixed node
+// universe, each with its own edge set, important-pair set, and threshold
+// (link conditions, topology, and pair importance all may change between
+// time instances). One shortcut placement F is chosen for the whole series;
+// the objective becomes σ(F) = Σ_i σ_i(F), the total number of maintained
+// social connections across all time instances. The bounds extend as sums,
+// μ = Σ μ_i and ν = Σ ν_i, which stay submodular and keep sandwiching σ —
+// so every algorithm in internal/core applies unchanged through the shared
+// Problem interface.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+
+	"msc/internal/bitset"
+	"msc/internal/core"
+	"msc/internal/graph"
+	"msc/internal/maxcover"
+)
+
+// Errors returned by NewProblem.
+var (
+	ErrNoInstances = errors.New("dynamic: need at least one time instance")
+	ErrNodeUniv    = errors.New("dynamic: instances must share a node universe")
+	ErrBudgets     = errors.New("dynamic: instances must share the budget k")
+)
+
+// Problem is a dynamic MSC problem: one placement evaluated against T time
+// instances. It implements core.Problem.
+type Problem struct {
+	insts []*core.Instance
+	n     int
+	k     int
+}
+
+var _ core.Problem = (*Problem)(nil)
+
+// NewProblem bundles per-time-instance MSC instances into a dynamic
+// problem. All instances must share the node count and budget.
+func NewProblem(insts []*core.Instance) (*Problem, error) {
+	if len(insts) == 0 {
+		return nil, ErrNoInstances
+	}
+	n := insts[0].N()
+	k := insts[0].K()
+	for i, inst := range insts {
+		if inst.N() != n {
+			return nil, fmt.Errorf("%w: instance %d has %d nodes, want %d", ErrNodeUniv, i, inst.N(), n)
+		}
+		if inst.K() != k {
+			return nil, fmt.Errorf("%w: instance %d has k=%d, want %d", ErrBudgets, i, inst.K(), k)
+		}
+	}
+	return &Problem{insts: insts, n: n, k: k}, nil
+}
+
+// T returns the number of time instances.
+func (p *Problem) T() int { return len(p.insts) }
+
+// Instances returns the per-time-instance problems. Callers must not
+// modify the slice.
+func (p *Problem) Instances() []*core.Instance { return p.insts }
+
+// N returns the (shared) node count.
+func (p *Problem) N() int { return p.n }
+
+// K returns the (shared) shortcut budget.
+func (p *Problem) K() int { return p.k }
+
+// NumCandidates returns n(n−1)/2: shortcut endpoints persist across time.
+func (p *Problem) NumCandidates() int { return p.insts[0].NumCandidates() }
+
+// CandidateEdge maps a candidate index to its edge.
+func (p *Problem) CandidateEdge(i int) graph.Edge { return p.insts[0].CandidateEdge(i) }
+
+// CandidateIndex maps an edge to its candidate index.
+func (p *Problem) CandidateIndex(e graph.Edge) int { return p.insts[0].CandidateIndex(e) }
+
+// MaxSigma returns Σ_i m_i.
+func (p *Problem) MaxSigma() int {
+	total := 0
+	for _, inst := range p.insts {
+		total += inst.MaxSigma()
+	}
+	return total
+}
+
+// Sigma returns Σ_i σ_i(sel).
+func (p *Problem) Sigma(sel []int) int {
+	total := 0
+	for _, inst := range p.insts {
+		total += inst.Sigma(sel)
+	}
+	return total
+}
+
+// SigmaPerInstance returns the per-time-instance σ values (Fig. 5 reports
+// both the total and its growth with T).
+func (p *Problem) SigmaPerInstance(sel []int) []int {
+	out := make([]int, len(p.insts))
+	for i, inst := range p.insts {
+		out[i] = inst.Sigma(sel)
+	}
+	return out
+}
+
+// Mu returns Σ_i μ_i(sel); a sum of submodular functions is submodular.
+func (p *Problem) Mu(sel []int) float64 {
+	total := 0.0
+	for _, inst := range p.insts {
+		total += inst.Mu(sel)
+	}
+	return total
+}
+
+// Nu returns Σ_i ν_i(sel).
+func (p *Problem) Nu(sel []int) float64 {
+	total := 0.0
+	for _, inst := range p.insts {
+		total += inst.Nu(sel)
+	}
+	return total
+}
+
+// MuProblem concatenates the per-instance μ coverage universes: element
+// (i, pair j) lives at offset_i + j, and candidate c's set is the union of
+// its per-instance sets.
+func (p *Problem) MuProblem() maxcover.Problem {
+	subs := make([]maxcover.Problem, len(p.insts))
+	for i, inst := range p.insts {
+		subs[i] = inst.MuProblem()
+	}
+	return concatCoverage(subs, p.NumCandidates(), p.k)
+}
+
+// NuProblem concatenates the per-instance ν weighted coverage universes.
+func (p *Problem) NuProblem() maxcover.Problem {
+	subs := make([]maxcover.Problem, len(p.insts))
+	for i, inst := range p.insts {
+		subs[i] = inst.NuProblem()
+	}
+	return concatCoverage(subs, p.NumCandidates(), p.k)
+}
+
+// concatCoverage merges per-instance coverage problems over the same
+// candidate family into one problem whose universe is the disjoint union.
+func concatCoverage(subs []maxcover.Problem, numCand, k int) maxcover.Problem {
+	totalU := 0
+	offsets := make([]int, len(subs))
+	weighted := false
+	hasInitial := false
+	for i, sub := range subs {
+		offsets[i] = totalU
+		totalU += subUniverse(sub)
+		if sub.Weights != nil {
+			weighted = true
+		}
+		if sub.Initial != nil {
+			hasInitial = true
+		}
+	}
+	out := maxcover.Problem{K: k, Sets: make([]*bitset.Set, numCand)}
+	if weighted {
+		out.Weights = make([]float64, totalU)
+		for i, sub := range subs {
+			off := offsets[i]
+			if sub.Weights != nil {
+				copy(out.Weights[off:], sub.Weights)
+			} else {
+				for j := 0; j < subUniverse(sub); j++ {
+					out.Weights[off+j] = 1
+				}
+			}
+		}
+	}
+	if hasInitial {
+		init := bitset.New(totalU)
+		for i, sub := range subs {
+			if sub.Initial == nil {
+				continue
+			}
+			off := offsets[i]
+			sub.Initial.ForEach(func(j int) { init.Add(off + j) })
+		}
+		out.Initial = init
+	}
+	for c := 0; c < numCand; c++ {
+		s := bitset.New(totalU)
+		for i, sub := range subs {
+			off := offsets[i]
+			sub.Sets[c].ForEach(func(j int) { s.Add(off + j) })
+		}
+		out.Sets[c] = s
+	}
+	return out
+}
+
+func subUniverse(p maxcover.Problem) int {
+	if len(p.Sets) > 0 {
+		return p.Sets[0].Len()
+	}
+	if p.Initial != nil {
+		return p.Initial.Len()
+	}
+	return len(p.Weights)
+}
+
+// NewSearch returns an incremental evaluator whose gains are summed across
+// time instances.
+func (p *Problem) NewSearch(sel []int) core.Search {
+	subs := make([]core.Search, len(p.insts))
+	for i, inst := range p.insts {
+		subs[i] = inst.NewSearch(sel)
+	}
+	return &multiSearch{prob: p, subs: subs, sel: append([]int(nil), sel...)}
+}
+
+// multiSearch fans Search operations out to per-instance searches.
+type multiSearch struct {
+	prob  *Problem
+	subs  []core.Search
+	sel   []int
+	gains []int // scratch for GainsAdd
+}
+
+func (s *multiSearch) Sigma() int {
+	total := 0
+	for _, sub := range s.subs {
+		total += sub.Sigma()
+	}
+	return total
+}
+
+func (s *multiSearch) Selection() []int { return append([]int(nil), s.sel...) }
+
+func (s *multiSearch) Len() int { return len(s.sel) }
+
+func (s *multiSearch) Contains(cand int) bool {
+	for _, c := range s.sel {
+		if c == cand {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *multiSearch) GainAdd(cand int) int {
+	total := 0
+	for _, sub := range s.subs {
+		total += sub.GainAdd(cand)
+	}
+	return total
+}
+
+// GainsAdd sums the per-instance gain arrays: each sub-search runs its own
+// fused candidate scan, and the argmax is taken over the totals. The
+// returned slice is scratch reused across calls.
+func (s *multiSearch) GainsAdd() []int {
+	numCand := s.prob.NumCandidates()
+	if s.gains == nil {
+		s.gains = make([]int, numCand)
+	} else {
+		for i := range s.gains {
+			s.gains[i] = 0
+		}
+	}
+	for _, sub := range s.subs {
+		for c, g := range sub.GainsAdd() {
+			s.gains[c] += g
+		}
+	}
+	return s.gains
+}
+
+// BestAdd scans all candidates, summing per-instance gains (ties toward
+// the lowest candidate index).
+func (s *multiSearch) BestAdd() (cand, gain int) {
+	gains := s.GainsAdd()
+	best, bestGain := 0, gains[0]
+	for c := 1; c < len(gains); c++ {
+		if gains[c] > bestGain {
+			best, bestGain = c, gains[c]
+		}
+	}
+	return best, bestGain
+}
+
+func (s *multiSearch) SigmaDrop(pos int) int {
+	total := 0
+	for _, sub := range s.subs {
+		total += sub.SigmaDrop(pos)
+	}
+	return total
+}
+
+func (s *multiSearch) BestDrop() (pos, sigma int) {
+	if len(s.sel) == 0 {
+		panic("dynamic: BestDrop on empty selection")
+	}
+	pos, sigma = 0, s.SigmaDrop(0)
+	for i := 1; i < len(s.sel); i++ {
+		if sig := s.SigmaDrop(i); sig > sigma {
+			pos, sigma = i, sig
+		}
+	}
+	return pos, sigma
+}
+
+func (s *multiSearch) Add(cand int) {
+	s.sel = append(s.sel, cand)
+	for _, sub := range s.subs {
+		sub.Add(cand)
+	}
+}
+
+func (s *multiSearch) RemoveAt(pos int) {
+	s.sel = append(s.sel[:pos], s.sel[pos+1:]...)
+	for _, sub := range s.subs {
+		sub.RemoveAt(pos)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"msc/internal/core"
+	"msc/internal/failprob"
+	"msc/internal/gen/rgg"
+	"msc/internal/gen/social"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+	"msc/internal/shortestpath"
+	"msc/internal/xrand"
+)
+
+// Config selects the experiment scale and seed.
+type Config struct {
+	// Seed drives every random draw; equal seeds reproduce runs exactly.
+	Seed int64
+	// Quick shrinks instance sizes and iteration counts so the whole
+	// suite runs in seconds — used by tests; benchmarks and cmd/mscbench
+	// use the paper-scale defaults.
+	Quick bool
+}
+
+func (c Config) rng(stream int64) *xrand.Rand {
+	// Independent deterministic stream per use-site.
+	return xrand.New(c.Seed*1_000_003 + stream)
+}
+
+// Paper-scale workload parameters (§VII-A), with the substitutions recorded
+// in DESIGN.md. The failure coefficients are the calibration knobs that
+// make the paper's p_t sweeps non-degenerate on our synthetic substrates.
+const (
+	rggRadius          = 0.18
+	rggFailAtRadius    = 0.08
+	socialFailAtRadius = 0.45
+	mobilityRadius     = 700.0
+	mobilityFailAtR    = 0.25
+)
+
+// dataset bundles a graph with its distance table so multiple thresholds
+// reuse one APSP computation.
+type dataset struct {
+	name  string
+	g     *graph.Graph
+	table *shortestpath.Table
+}
+
+func (c Config) rggDataset() dataset {
+	n := 100
+	radius := rggRadius
+	if c.Quick {
+		// Smaller graphs need a larger radius to stay connected.
+		n, radius = 40, 0.27
+	}
+	g, err := rgg.Generate(rgg.Config{
+		N:                n,
+		Radius:           radius,
+		FailureAtRadius:  rggFailAtRadius,
+		RequireConnected: true,
+	}, c.rng(1))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: rgg dataset: %v", err))
+	}
+	return dataset{name: "RG", g: g, table: shortestpath.NewTable(g)}
+}
+
+func (c Config) socialDataset() dataset {
+	cfg := social.DefaultConfig()
+	cfg.FailureAtRadius = socialFailAtRadius
+	if c.Quick {
+		cfg.Users = 50
+		cfg.Venues = 5
+	}
+	net, err := social.Generate(cfg, c.rng(2))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: social dataset: %v", err))
+	}
+	return dataset{name: "Gowalla", g: net.Graph, table: shortestpath.NewTable(net.Graph)}
+}
+
+// instance samples m violating pairs at threshold pt and wraps everything
+// as a core instance with budget k.
+func (c Config) instance(ds dataset, pt float64, m, k int, stream int64) *core.Instance {
+	thr := failprob.NewThreshold(pt)
+	ps, err := pairs.SampleViolating(ds.table, thr.D, m, c.rng(stream))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sample pairs on %s (p_t=%v, m=%d): %v", ds.name, pt, m, err))
+	}
+	inst, err := core.NewInstance(ds.g, ps, thr, k, &core.Options{
+		AllowTrivial: true, // sweeps include k close to m
+		Table:        ds.table,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: instance on %s: %v", ds.name, err))
+	}
+	return inst
+}

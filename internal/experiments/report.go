@@ -1,0 +1,177 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII) on this repository's substrates. Each experiment is a
+// pure function of a Config (seed + quick flag), so runs are reproducible
+// bit-for-bit; cmd/mscbench and the root bench suite are thin wrappers
+// around it.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a labeled grid of numbers, e.g. Table I's approximation ratios.
+type Table struct {
+	ID       string
+	Title    string
+	RowLabel string // meaning of row labels (e.g. "k")
+	ColLabel string // meaning of column labels (e.g. "p_t")
+	Cols     []string
+	Rows     []TableRow
+}
+
+// TableRow is one table row.
+type TableRow struct {
+	Label string
+	Cells []float64
+}
+
+// Format renders the table as aligned text, mirroring how the paper prints
+// Tables I and II.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", t.ID, t.Title)
+	header := make([]string, 0, len(t.Cols)+1)
+	header = append(header, fmt.Sprintf("%s\\%s", t.RowLabel, t.ColLabel))
+	header = append(header, t.Cols...)
+	widths := make([]int, len(header))
+	rows := make([][]string, 0, len(t.Rows)+1)
+	rows = append(rows, header)
+	for _, r := range t.Rows {
+		cells := make([]string, 0, len(r.Cells)+1)
+		cells = append(cells, r.Label)
+		for _, c := range r.Cells {
+			cells = append(cells, fmt.Sprintf("%.4f", c))
+		}
+		rows = append(rows, cells)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, c := range row {
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, c)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			sb.WriteString(strings.Repeat("-", total))
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(t.RowLabel)
+	for _, c := range t.Cols {
+		sb.WriteByte(',')
+		sb.WriteString(c)
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		sb.WriteString(r.Label)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&sb, ",%.6g", c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure is a set of named series over a shared x-axis, standing in for
+// one of the paper's plots.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Series is one curve.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Format renders the figure as an aligned text table: one row per x value,
+// one column per series — the shape a plotting script would ingest.
+func (f *Figure) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "y: %s\n", f.YLabel)
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	widths := make([]int, len(header))
+	rows := [][]string{header}
+	for i, x := range f.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.3f", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, c := range row {
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, c)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			sb.WriteString(strings.Repeat("-", total))
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// CSV renders the figure data as comma-separated values.
+func (f *Figure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		sb.WriteByte(',')
+		sb.WriteString(s.Name)
+	}
+	sb.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&sb, "%g", x)
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&sb, ",%.6g", s.Y[i])
+			} else {
+				sb.WriteString(",")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

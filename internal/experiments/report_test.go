@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormatAlignment(t *testing.T) {
+	table := &Table{
+		ID:       "Test",
+		Title:    "alignment",
+		RowLabel: "k",
+		ColLabel: "p",
+		Cols:     []string{"0.1", "0.2"},
+		Rows: []TableRow{
+			{Label: "2", Cells: []float64{0.5, 0.25}},
+			{Label: "10", Cells: []float64{1, 0}},
+		},
+	}
+	out := table.Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "k\\p") {
+		t.Fatalf("header missing row/col labels: %q", lines[1])
+	}
+	if !strings.Contains(out, "0.5000") || !strings.Contains(out, "0.2500") {
+		t.Fatalf("cells not rendered:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	table := &Table{
+		RowLabel: "k",
+		Cols:     []string{"a", "b"},
+		Rows:     []TableRow{{Label: "1", Cells: []float64{0.125, 2}}},
+	}
+	csv := table.CSV()
+	want := "k,a,b\n1,0.125,2\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestFigureFormatRaggedSeries(t *testing.T) {
+	fig := &Figure{
+		ID:     "F",
+		Title:  "ragged",
+		XLabel: "x",
+		YLabel: "y",
+		X:      []float64{1, 2, 3},
+		Series: []Series{
+			{Name: "full", Y: []float64{1, 2, 3}},
+			{Name: "short", Y: []float64{9}},
+		},
+	}
+	out := fig.Format()
+	// Missing points render as "-" rather than panicking.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("ragged series not padded:\n%s", out)
+	}
+	csv := fig.CSV()
+	if !strings.Contains(csv, "x,full,short") {
+		t.Fatalf("csv header wrong: %q", csv)
+	}
+	// Second row of 'short' is empty in CSV.
+	if !strings.Contains(csv, "2,2,\n") {
+		t.Fatalf("csv padding wrong: %q", csv)
+	}
+}
+
+func TestConfigStreamsIndependent(t *testing.T) {
+	c := Config{Seed: 5}
+	a := c.rng(1).Int63()
+	b := c.rng(2).Int63()
+	if a == b {
+		t.Fatal("streams collide")
+	}
+	// Same stream reproduces.
+	if c.rng(1).Int63() != a {
+		t.Fatal("stream not reproducible")
+	}
+	// Different seeds diverge.
+	if (Config{Seed: 6}).rng(1).Int63() == a {
+		t.Fatal("seeds collide")
+	}
+}

@@ -1,0 +1,69 @@
+// Package rgg generates Random Geometric graphs, the synthetic workload of
+// the paper's evaluation (§VII-A1): n nodes uniform in the unit square,
+// connected when within a radius threshold, with distance-proportional link
+// failure probabilities.
+//
+// The paper motivates the model as resembling a social network — RG graphs
+// spontaneously exhibit community structure and degree assortativity.
+package rgg
+
+import (
+	"errors"
+	"fmt"
+
+	"msc/internal/geom"
+	"msc/internal/graph"
+	"msc/internal/netbuild"
+	"msc/internal/xrand"
+)
+
+// Config parameterizes a random geometric graph.
+type Config struct {
+	// N is the node count (paper uses 100).
+	N int
+	// Radius is the connection threshold in the unit square.
+	Radius float64
+	// FailureAtRadius is the link failure probability at distance exactly
+	// Radius (failure scales linearly with distance below it).
+	FailureAtRadius float64
+	// RequireConnected, when set, redraws positions until the graph is a
+	// single connected component (up to MaxAttempts).
+	RequireConnected bool
+	// MaxAttempts bounds the redraws for RequireConnected (default 100).
+	MaxAttempts int
+}
+
+// Errors returned by Generate.
+var (
+	ErrN         = errors.New("rgg: need at least two nodes")
+	ErrConnected = errors.New("rgg: could not draw a connected graph")
+)
+
+// Generate draws an RG graph. The generator is deterministic in rng.
+func Generate(cfg Config, rng *xrand.Rand) (*graph.Graph, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrN, cfg.N)
+	}
+	fm := netbuild.FailureModel{Radius: cfg.Radius, FailureAtRadius: cfg.FailureAtRadius}
+	if err := fm.Validate(); err != nil {
+		return nil, err
+	}
+	attempts := cfg.MaxAttempts
+	if attempts <= 0 {
+		attempts = 100
+	}
+	for try := 0; try < attempts; try++ {
+		pts := make([]geom.Point, cfg.N)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		}
+		g, err := netbuild.Proximity(pts, fm)
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.RequireConnected || g.Connected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d attempts (n=%d, radius=%v)", ErrConnected, attempts, cfg.N, cfg.Radius)
+}

@@ -1,0 +1,99 @@
+package rgg
+
+import (
+	"errors"
+	"testing"
+
+	"msc/internal/failprob"
+	"msc/internal/xrand"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	g, err := Generate(Config{N: 80, Radius: 0.25, FailureAtRadius: 0.1}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 80 {
+		t.Fatalf("n = %d", g.N())
+	}
+	coords := g.Coords()
+	if coords == nil {
+		t.Fatal("no coordinates")
+	}
+	// Every edge respects the radius and the failure model.
+	for _, e := range g.Edges() {
+		d := coords[e.U].Dist(coords[e.V])
+		if d > 0.25+1e-12 {
+			t.Fatalf("edge (%d,%d) spans %v > radius", e.U, e.V, d)
+		}
+		wantP := 0.1 * d / 0.25
+		if got := failprob.ProbFromLength(e.Length); got < wantP-1e-9 || got > wantP+1e-9 {
+			t.Fatalf("edge (%d,%d): p = %v, want %v", e.U, e.V, got, wantP)
+		}
+	}
+	// Points live in the unit square.
+	for i, p := range coords {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("point %d outside unit square: %v", i, p)
+		}
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	g, err := Generate(Config{
+		N: 60, Radius: 0.3, FailureAtRadius: 0.1, RequireConnected: true,
+	}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("RequireConnected produced a disconnected graph")
+	}
+}
+
+func TestGenerateConnectedFailure(t *testing.T) {
+	// A radius this small cannot connect 100 nodes; must give up.
+	_, err := Generate(Config{
+		N: 100, Radius: 0.01, FailureAtRadius: 0.1,
+		RequireConnected: true, MaxAttempts: 3,
+	}, xrand.New(3))
+	if !errors.Is(err, ErrConnected) {
+		t.Fatalf("err = %v, want ErrConnected", err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{N: 1, Radius: 0.2, FailureAtRadius: 0.1}, xrand.New(1)); !errors.Is(err, ErrN) {
+		t.Fatalf("err = %v, want ErrN", err)
+	}
+	if _, err := Generate(Config{N: 10, Radius: 0, FailureAtRadius: 0.1}, xrand.New(1)); err == nil {
+		t.Fatal("expected radius validation error")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Generate(Config{N: 50, Radius: 0.25, FailureAtRadius: 0.1}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{N: 50, Radius: 0.25, FailureAtRadius: 0.1}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatal("same seed, different graphs")
+	}
+	for i, e := range a.Edges() {
+		if b.Edges()[i] != e {
+			t.Fatal("same seed, different edges")
+		}
+	}
+}
+
+func TestDensityGrowsWithRadius(t *testing.T) {
+	small, _ := Generate(Config{N: 100, Radius: 0.1, FailureAtRadius: 0.1}, xrand.New(9))
+	large, _ := Generate(Config{N: 100, Radius: 0.3, FailureAtRadius: 0.1}, xrand.New(9))
+	if small.M() >= large.M() {
+		t.Fatalf("edges: r=0.1 → %d, r=0.3 → %d", small.M(), large.M())
+	}
+}

@@ -1,0 +1,291 @@
+package social
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"msc/internal/geom"
+	"msc/internal/graph"
+	"msc/internal/netbuild"
+)
+
+// This file ingests the real SNAP loc-gowalla dataset for users who have
+// it: Gowalla_totalCheckins.txt ("user\ttime\tlat\tlon\tlocation_id") and
+// Gowalla_edges.txt ("user\tuser"). The paper filters check-ins to a time
+// window and a geographic region (6pm–midnight Oct 1 2010, near Austin,
+// TX), keeps each remaining user's check-in position, and connects users
+// within 200 m.
+
+// Checkin is one parsed check-in record.
+type Checkin struct {
+	User     int64
+	Time     time.Time
+	Lat, Lon float64
+	Location int64
+}
+
+// CheckinFilter selects the check-ins to keep.
+type CheckinFilter struct {
+	// From/To bound the check-in time (inclusive); zero values disable the
+	// bound.
+	From, To time.Time
+	// CenterLat/CenterLon and RadiusMeters bound the location;
+	// RadiusMeters == 0 disables the bound.
+	CenterLat, CenterLon float64
+	RadiusMeters         float64
+}
+
+// AustinEvening is the paper's filter: check-ins between 6pm and midnight
+// (local, stored as UTC in the dataset dumps) on Oct 1 2010 within 30 km of
+// downtown Austin, TX.
+var AustinEvening = CheckinFilter{
+	From:         time.Date(2010, 10, 1, 18, 0, 0, 0, time.UTC),
+	To:           time.Date(2010, 10, 2, 0, 0, 0, 0, time.UTC),
+	CenterLat:    30.2672,
+	CenterLon:    -97.7431,
+	RadiusMeters: 30000,
+}
+
+// ErrNoCheckins is returned when the filter leaves fewer than two users.
+var ErrNoCheckins = errors.New("social: filter left fewer than two users")
+
+// ParseCheckins reads SNAP check-in lines, keeping records that pass the
+// filter. Later check-ins overwrite earlier ones per user (the user's most
+// recent position in the window wins). Malformed lines produce errors.
+func ParseCheckins(r io.Reader, filter CheckinFilter) (map[int64]Checkin, error) {
+	latest := make(map[int64]Checkin)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := parseCheckinLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("social: line %d: %w", lineNo, err)
+		}
+		if !filter.keep(c) {
+			continue
+		}
+		if prev, ok := latest[c.User]; !ok || c.Time.After(prev.Time) {
+			latest[c.User] = c
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("social: read checkins: %w", err)
+	}
+	return latest, nil
+}
+
+func parseCheckinLine(line string) (Checkin, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 {
+		return Checkin{}, fmt.Errorf("want 5 fields, got %d", len(fields))
+	}
+	user, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Checkin{}, fmt.Errorf("user: %w", err)
+	}
+	ts, err := time.Parse(time.RFC3339, fields[1])
+	if err != nil {
+		// SNAP dumps use "2010-10-19T23:55:27Z"; fall back to a legacy
+		// space-separated form just in case.
+		ts, err = time.Parse("2006-01-02 15:04:05", fields[1])
+		if err != nil {
+			return Checkin{}, fmt.Errorf("time: %w", err)
+		}
+	}
+	lat, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Checkin{}, fmt.Errorf("lat: %w", err)
+	}
+	lon, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return Checkin{}, fmt.Errorf("lon: %w", err)
+	}
+	loc, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil {
+		return Checkin{}, fmt.Errorf("location: %w", err)
+	}
+	return Checkin{User: user, Time: ts, Lat: lat, Lon: lon, Location: loc}, nil
+}
+
+func (f CheckinFilter) keep(c Checkin) bool {
+	if !f.From.IsZero() && c.Time.Before(f.From) {
+		return false
+	}
+	if !f.To.IsZero() && c.Time.After(f.To) {
+		return false
+	}
+	if f.RadiusMeters > 0 {
+		if HaversineMeters(c.Lat, c.Lon, f.CenterLat, f.CenterLon) > f.RadiusMeters {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseFriendships reads SNAP edge lines ("user\tuser") into undirected
+// friend pairs keyed canonically (low id first).
+func ParseFriendships(r io.Reader) (map[[2]int64]struct{}, error) {
+	out := make(map[[2]int64]struct{})
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("social: edges line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		a, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("social: edges line %d: %w", lineNo, err)
+		}
+		b, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("social: edges line %d: %w", lineNo, err)
+		}
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		out[[2]int64{a, b}] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("social: read edges: %w", err)
+	}
+	return out, nil
+}
+
+// Loaded is a network built from real SNAP data.
+type Loaded struct {
+	Graph *graph.Graph
+	// UserIDs maps node id -> original SNAP user id.
+	UserIDs []int64
+	// Friends holds the friendship pairs restricted to loaded users, as
+	// node-id pairs; useful for picking important social pairs.
+	Friends [][2]graph.NodeID
+}
+
+// Load builds the proximity communication graph from SNAP check-in and
+// (optionally nil) friendship streams: filter check-ins, project each kept
+// user's position to local meters around the filter center, and connect
+// users within connectRadiusMeters with distance-proportional link
+// failures.
+func Load(checkins io.Reader, friendships io.Reader, filter CheckinFilter,
+	connectRadiusMeters, failureAtRadius float64) (*Loaded, error) {
+	latest, err := ParseCheckins(checkins, filter)
+	if err != nil {
+		return nil, err
+	}
+	if len(latest) < 2 {
+		return nil, fmt.Errorf("%w: %d users", ErrNoCheckins, len(latest))
+	}
+	users := make([]int64, 0, len(latest))
+	for u := range latest {
+		users = append(users, u)
+	}
+	sortInt64s(users)
+	pts := make([]geom.Point, len(users))
+	labels := make([]string, len(users))
+	nodeOf := make(map[int64]graph.NodeID, len(users))
+	for i, u := range users {
+		c := latest[u]
+		pts[i] = projectMeters(c.Lat, c.Lon, filter.CenterLat, filter.CenterLon)
+		labels[i] = "user" + strconv.FormatInt(u, 10)
+		nodeOf[u] = graph.NodeID(i)
+	}
+	fm := netbuild.FailureModel{Radius: connectRadiusMeters, FailureAtRadius: failureAtRadius}
+	g, err := netbuild.Proximity(pts, fm)
+	if err != nil {
+		return nil, err
+	}
+	// Re-attach labels (Proximity sets coords only).
+	gb := graph.NewBuilder(g.N())
+	gb.SetCoords(pts)
+	gb.SetLabels(labels)
+	for _, e := range g.Edges() {
+		gb.AddEdge(e.U, e.V, e.Length)
+	}
+	g, err = gb.Build()
+	if err != nil {
+		return nil, err
+	}
+	loaded := &Loaded{Graph: g, UserIDs: users}
+	if friendships != nil {
+		fr, err := ParseFriendships(friendships)
+		if err != nil {
+			return nil, err
+		}
+		for key := range fr {
+			a, okA := nodeOf[key[0]]
+			b, okB := nodeOf[key[1]]
+			if okA && okB {
+				loaded.Friends = append(loaded.Friends, [2]graph.NodeID{a, b})
+			}
+		}
+		sortFriendPairs(loaded.Friends)
+	}
+	return loaded, nil
+}
+
+// HaversineMeters returns the great-circle distance between two lat/lon
+// points in meters.
+func HaversineMeters(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadius = 6371000.0
+	toRad := math.Pi / 180
+	dLat := (lat2 - lat1) * toRad
+	dLon := (lon2 - lon1) * toRad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*toRad)*math.Cos(lat2*toRad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadius * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// projectMeters maps lat/lon to a local tangent-plane approximation in
+// meters centered on (clat, clon): fine at city scale.
+func projectMeters(lat, lon, clat, clon float64) geom.Point {
+	const earthRadius = 6371000.0
+	toRad := math.Pi / 180
+	x := (lon - clon) * toRad * earthRadius * math.Cos(clat*toRad)
+	y := (lat - clat) * toRad * earthRadius
+	return geom.Point{X: x, Y: y}
+}
+
+func sortInt64s(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortFriendPairs(ps [][2]graph.NodeID) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && lessPair(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func lessPair(a, b [2]graph.NodeID) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}

@@ -1,0 +1,168 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"msc/internal/xrand"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Point{X: 3, Y: 4}
+	q := Point{X: 0, Y: 0}
+	if d := p.Dist(q); d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+	if d2 := p.Dist2(q); d2 != 25 {
+		t.Fatalf("Dist2 = %v, want 25", d2)
+	}
+	if got := p.Add(q); got != p {
+		t.Fatalf("Add identity failed: %v", got)
+	}
+	if got := p.Sub(p); got != (Point{}) {
+		t.Fatalf("Sub self = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{X: 6, Y: 8}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if n := p.Norm(); n != 5 {
+		t.Fatalf("Norm = %v", n)
+	}
+	if s := p.String(); s != "(3.000, 4.000)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 1}
+	if r.Width() != 2 || r.Height() != 1 {
+		t.Fatal("width/height wrong")
+	}
+	if !r.Contains(Point{X: 1, Y: 0.5}) || r.Contains(Point{X: 3, Y: 0.5}) {
+		t.Fatal("Contains wrong")
+	}
+	if got := r.Clamp(Point{X: -1, Y: 5}); got != (Point{X: 0, Y: 1}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Point{{1, 2}, {-1, 5}, {3, 0}}
+	bb := BoundingBox(pts)
+	want := Rect{MinX: -1, MinY: 0, MaxX: 3, MaxY: 5}
+	if bb != want {
+		t.Fatalf("BoundingBox = %v, want %v", bb, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty slice")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+func TestGridNeighborsMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(9)
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(100)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+		}
+		radius := 0.05 + rng.Float64()*0.15
+		g := NewGrid(pts, radius)
+		for i := 0; i < n; i += 7 {
+			got := map[int]bool{}
+			g.Neighbors(i, radius, func(j int) { got[j] = true })
+			for j := range pts {
+				want := j != i && pts[i].Dist(pts[j]) <= radius
+				if got[j] != want {
+					t.Fatalf("trial %d: neighbor(%d, %d) = %v, want %v", trial, i, j, got[j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestGridPairsWithinMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(10)
+	pts := make([]Point, 120)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	const radius = 0.12
+	g := NewGrid(pts, radius)
+	type pair struct{ i, j int }
+	got := map[pair]float64{}
+	g.PairsWithin(radius, func(i, j int, dist float64) {
+		if i >= j {
+			t.Fatalf("pair not canonical: (%d, %d)", i, j)
+		}
+		if _, dup := got[pair{i, j}]; dup {
+			t.Fatalf("duplicate pair (%d, %d)", i, j)
+		}
+		got[pair{i, j}] = dist
+	})
+	count := 0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			d := pts[i].Dist(pts[j])
+			if d <= radius {
+				count++
+				gd, ok := got[pair{i, j}]
+				if !ok {
+					t.Fatalf("missing pair (%d, %d)", i, j)
+				}
+				if math.Abs(gd-d) > 1e-12 {
+					t.Fatalf("distance mismatch for (%d, %d): %v vs %v", i, j, gd, d)
+				}
+			}
+		}
+	}
+	if count != len(got) {
+		t.Fatalf("pair count %d, want %d", len(got), count)
+	}
+}
+
+func TestGridRadiusTooLargePanics(t *testing.T) {
+	g := NewGrid([]Point{{0, 0}, {1, 1}}, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.PairsWithin(0.2, func(i, j int, d float64) {})
+}
+
+func TestGridInvalidConstruction(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGrid(nil, 1) },
+		func() { NewGrid([]Point{{0, 0}}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestQuickMetricProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Point{X: math.Mod(ax, 1e6), Y: math.Mod(ay, 1e6)}
+		b := Point{X: math.Mod(bx, 1e6), Y: math.Mod(by, 1e6)}
+		c := Point{X: math.Mod(cx, 1e6), Y: math.Mod(cy, 1e6)}
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-9 {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

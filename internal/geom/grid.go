@@ -1,0 +1,111 @@
+package geom
+
+import "math"
+
+// Grid is a uniform spatial hash over a point set, supporting "all pairs
+// within radius" queries in expected O(n + pairs) for points with bounded
+// local density.
+type Grid struct {
+	cell   float64
+	minX   float64
+	minY   float64
+	cols   int
+	rows   int
+	bucket map[int][]int32
+	pts    []Point
+}
+
+// NewGrid indexes pts with the given cell size. Cell size should be the
+// query radius (so a radius query only inspects the 3×3 neighborhood).
+// It panics if cell <= 0 or pts is empty.
+func NewGrid(pts []Point, cell float64) *Grid {
+	if cell <= 0 {
+		panic("geom: grid cell size must be positive")
+	}
+	if len(pts) == 0 {
+		panic("geom: grid over empty point set")
+	}
+	bb := BoundingBox(pts)
+	cols := int(bb.Width()/cell) + 1
+	rows := int(bb.Height()/cell) + 1
+	g := &Grid{
+		cell:   cell,
+		minX:   bb.MinX,
+		minY:   bb.MinY,
+		cols:   cols,
+		rows:   rows,
+		bucket: make(map[int][]int32, len(pts)),
+		pts:    pts,
+	}
+	for i, p := range pts {
+		key := g.key(p)
+		g.bucket[key] = append(g.bucket[key], int32(i))
+	}
+	return g
+}
+
+func (g *Grid) key(p Point) int {
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	return cy*g.cols + cx
+}
+
+// Neighbors calls fn(j) for every indexed point j ≠ i within radius r of
+// point i. r must be ≤ the cell size used at construction, otherwise
+// results are incomplete (the method panics to prevent silent misuse).
+func (g *Grid) Neighbors(i int, r float64, fn func(j int)) {
+	if r > g.cell {
+		panic("geom: query radius exceeds grid cell size")
+	}
+	p := g.pts[i]
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	r2 := r * r
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := cx+dx, cy+dy
+			if nx < 0 || ny < 0 || nx >= g.cols || ny >= g.rows {
+				continue
+			}
+			for _, j := range g.bucket[ny*g.cols+nx] {
+				if int(j) == i {
+					continue
+				}
+				if p.Dist2(g.pts[j]) <= r2 {
+					fn(int(j))
+				}
+			}
+		}
+	}
+}
+
+// PairsWithin calls fn(i, j, dist) once per unordered pair {i, j} with
+// distance ≤ r. r must be ≤ the cell size used at construction.
+func (g *Grid) PairsWithin(r float64, fn func(i, j int, dist float64)) {
+	if r > g.cell {
+		panic("geom: query radius exceeds grid cell size")
+	}
+	r2 := r * r
+	for i := range g.pts {
+		p := g.pts[i]
+		cx := int((p.X - g.minX) / g.cell)
+		cy := int((p.Y - g.minY) / g.cell)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx >= g.cols || ny >= g.rows {
+					continue
+				}
+				for _, j32 := range g.bucket[ny*g.cols+nx] {
+					j := int(j32)
+					if j <= i {
+						continue
+					}
+					if d2 := p.Dist2(g.pts[j]); d2 <= r2 {
+						fn(i, j, math.Sqrt(d2))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+)
+
+// WriteDOT renders the network in Graphviz DOT format for quick visual
+// inspection with external tooling. Base links are gray with the failure
+// probability as label; shortcut edges are bold red; important-pair
+// members are filled. Positions (when present) become pos attributes
+// usable by neato -n.
+func WriteDOT(w io.Writer, g *graph.Graph, ps *pairs.Set, shortcuts []graph.Edge) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph msc {")
+	fmt.Fprintln(bw, "  node [shape=circle, fontsize=9];")
+
+	member := map[graph.NodeID]bool{}
+	if ps != nil {
+		for _, p := range ps.Pairs() {
+			member[p.U] = true
+			member[p.W] = true
+		}
+	}
+	coords := g.Coords()
+	for v := 0; v < g.N(); v++ {
+		attrs := fmt.Sprintf("label=%q", g.Label(graph.NodeID(v)))
+		if member[graph.NodeID(v)] {
+			attrs += `, style=filled, fillcolor="#2c3e50", fontcolor=white`
+		}
+		if coords != nil {
+			attrs += fmt.Sprintf(", pos=\"%.3f,%.3f!\"", coords[v].X, coords[v].Y)
+		}
+		fmt.Fprintf(bw, "  %d [%s];\n", v, attrs)
+	}
+	for _, e := range g.Edges() {
+		p := failprob.ProbFromLength(e.Length)
+		fmt.Fprintf(bw, "  %d -- %d [color=gray, label=\"%.2f\", fontsize=7];\n", e.U, e.V, p)
+	}
+	for _, f := range shortcuts {
+		fmt.Fprintf(bw, "  %d -- %d [color=\"#c0392b\", penwidth=2.5, style=dashed];\n", f.U, f.V)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,167 @@
+package graphio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"msc/internal/failprob"
+	"msc/internal/geom"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+)
+
+func sampleGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.NewBuilder(4).
+		SetCoords([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}}).
+		SetLabels([]string{"a", "b", "c", "d"}).
+		AddEdge(0, 1, failprob.LengthFromProb(0.1)).
+		AddEdge(1, 2, failprob.LengthFromProb(0.2)).
+		AddEdge(2, 3, failprob.LengthFromProb(0.3)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := sampleGraph(t)
+	ps := pairs.MustNewSet(4, []pairs.Pair{{U: 0, W: 3}, {U: 1, W: 3}})
+	doc := FromGraph(g, ps, 0.25, 2)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Nodes != 4 || back.FailureThreshold != 0.25 || back.Budget != 2 {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	g2, err := back.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("graph shape changed: n=%d m=%d", g2.N(), g2.M())
+	}
+	for _, e := range g.Edges() {
+		l2, ok := g2.EdgeLength(e.U, e.V)
+		if !ok || math.Abs(l2-e.Length) > 1e-12 {
+			t.Fatalf("edge (%d,%d) length %v -> %v", e.U, e.V, e.Length, l2)
+		}
+	}
+	if g2.Label(0) != "a" {
+		t.Fatal("labels lost")
+	}
+	if g2.Coords()[3] != (geom.Point{X: 1, Y: 1}) {
+		t.Fatal("coords lost")
+	}
+	ps2, err := back.PairSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps2.Len() != 2 {
+		t.Fatalf("pairs lost: %d", ps2.Len())
+	}
+}
+
+func TestPairSetNilWhenAbsent(t *testing.T) {
+	doc := FromGraph(sampleGraph(t), nil, 0, 0)
+	ps, err := doc.PairSet()
+	if err != nil || ps != nil {
+		t.Fatalf("PairSet = %v, %v; want nil, nil", ps, err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"edges":[]}`)); err == nil {
+		t.Fatal("expected missing-node-count error")
+	}
+}
+
+func TestDocumentGraphRejectsBadFailure(t *testing.T) {
+	doc := Document{Nodes: 2, Edges: []EdgeRecord{{U: 0, V: 1, Fail: 1.0}}}
+	if _, err := doc.Graph(); err == nil {
+		t.Fatal("expected error for p_fail = 1")
+	}
+	doc = Document{Nodes: 2, Coords: [][2]float64{{0, 0}}}
+	if _, err := doc.Graph(); err == nil {
+		t.Fatal("expected coord-count error")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := sampleGraph(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() {
+		t.Fatalf("m = %d, want %d", g2.M(), g.M())
+	}
+	for _, e := range g.Edges() {
+		l2, ok := g2.EdgeLength(e.U, e.V)
+		if !ok || math.Abs(l2-e.Length) > 1e-9 {
+			t.Fatalf("edge (%d,%d) mismatch", e.U, e.V)
+		}
+	}
+}
+
+func TestReadEdgeListForms(t *testing.T) {
+	in := "# comment\n0 1\n1 2 0.5\n\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if l, _ := g.EdgeLength(0, 1); l != 0 {
+		t.Fatalf("default p_fail should be 0, got length %v", l)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",          // empty
+		"0\n",       // one field
+		"0 1 2 3\n", // four fields
+		"x 1\n",     // bad id
+		"0 1 1.5\n", // p out of range
+	}
+	for i, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := sampleGraph(t)
+	ps := pairs.MustNewSet(4, []pairs.Pair{{U: 0, W: 3}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, ps, []graph.Edge{{U: 1, V: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph msc {", "0 -- 1", "penwidth=2.5", "fillcolor", "pos=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package maxcover solves the (weighted) maximum coverage problem with the
+// classic greedy algorithm, optionally with lazy (CELF-style) marginal
+// evaluation.
+//
+// Maximum coverage is the combinatorial core of two pieces of the paper:
+// the MSC-CN special case reduces to it exactly (§IV, Theorem 1), and the
+// upper-bound function ν is a weighted coverage function (§V-B2). Greedy
+// achieves the optimal (1 − 1/e) approximation ratio for this problem.
+package maxcover
+
+import (
+	"container/heap"
+
+	"msc/internal/bitset"
+)
+
+// Problem is a weighted maximum coverage instance: a universe of elements
+// 0..U-1 with non-negative weights, and a family of candidate sets. Select
+// at most K sets maximizing the total weight of covered elements.
+type Problem struct {
+	// Weights holds one non-negative weight per universe element. A nil
+	// Weights means all elements weigh 1 (unweighted coverage).
+	Weights []float64
+	// Sets is the candidate family; every set must share the same universe
+	// size.
+	Sets []*bitset.Set
+	// Initial holds elements covered before any selection (e.g. social
+	// pairs already satisfied by the raw network). Marginal gains are
+	// computed against it. May be nil.
+	Initial *bitset.Set
+	// K is the selection budget.
+	K int
+}
+
+// Result reports a greedy run.
+type Result struct {
+	// Chosen holds the indices into Problem.Sets in selection order. It may
+	// be shorter than K when coverage saturates early (remaining marginal
+	// gains are all zero).
+	Chosen []int
+	// Covered is the union of the chosen sets and Problem.Initial.
+	Covered *bitset.Set
+	// Value is the total weight gained by the selection, excluding
+	// elements already covered by Problem.Initial.
+	Value float64
+	// Gains[i] is the marginal gain achieved by the i-th selection.
+	Gains []float64
+}
+
+// Greedy runs the plain greedy algorithm: at each round select the set with
+// the maximum marginal covered weight. Ties break toward the lowest set
+// index, making the run deterministic. Zero-gain selections are skipped, so
+// the result may use fewer than K sets.
+func Greedy(p Problem) Result {
+	covered := initialCovered(p)
+	res := Result{Covered: covered}
+	for len(res.Chosen) < p.K {
+		bestIdx, bestGain := -1, 0.0
+		for i, s := range p.Sets {
+			g := marginal(p.Weights, covered, s)
+			if g > bestGain {
+				bestIdx, bestGain = i, g
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		covered.UnionWith(p.Sets[bestIdx])
+		res.Chosen = append(res.Chosen, bestIdx)
+		res.Gains = append(res.Gains, bestGain)
+		res.Value += bestGain
+	}
+	return res
+}
+
+// LazyGreedy runs the CELF lazy-greedy algorithm, which exploits the
+// submodularity of coverage: a set's marginal gain can only shrink as the
+// covered region grows, so stale heap keys are upper bounds. It returns the
+// same selection as Greedy (identical tie-breaking) but evaluates far fewer
+// marginals on large families.
+func LazyGreedy(p Problem) Result {
+	covered := initialCovered(p)
+	res := Result{Covered: covered}
+	pq := make(lazyQueue, 0, len(p.Sets))
+	for i, s := range p.Sets {
+		g := marginal(p.Weights, covered, s)
+		if g > 0 {
+			pq = append(pq, lazyEntry{idx: i, gain: g, round: 0})
+		}
+	}
+	heap.Init(&pq)
+	round := 0
+	for len(res.Chosen) < p.K && pq.Len() > 0 {
+		top := pq[0]
+		if top.round == round {
+			heap.Pop(&pq)
+			if top.gain <= 0 {
+				break
+			}
+			covered.UnionWith(p.Sets[top.idx])
+			res.Chosen = append(res.Chosen, top.idx)
+			res.Gains = append(res.Gains, top.gain)
+			res.Value += top.gain
+			round++
+			continue
+		}
+		// Stale bound: re-evaluate against the current covered set and
+		// push back.
+		top.gain = marginal(p.Weights, covered, p.Sets[top.idx])
+		top.round = round
+		if top.gain <= 0 {
+			heap.Pop(&pq)
+			continue
+		}
+		pq[0] = top
+		heap.Fix(&pq, 0)
+	}
+	return res
+}
+
+func universeSize(p Problem) int {
+	if len(p.Sets) > 0 {
+		return p.Sets[0].Len()
+	}
+	if p.Initial != nil {
+		return p.Initial.Len()
+	}
+	return len(p.Weights)
+}
+
+func initialCovered(p Problem) *bitset.Set {
+	if p.Initial != nil {
+		return p.Initial.Clone()
+	}
+	return bitset.New(universeSize(p))
+}
+
+// marginal returns the weight of elements in s not yet covered.
+func marginal(weights []float64, covered, s *bitset.Set) float64 {
+	if weights == nil {
+		return float64(covered.AndNotCount(s))
+	}
+	gain := 0.0
+	s.ForEach(func(i int) {
+		if !covered.Contains(i) {
+			gain += weights[i]
+		}
+	})
+	return gain
+}
+
+// lazyEntry is a heap entry carrying a possibly-stale marginal gain.
+type lazyEntry struct {
+	idx   int
+	gain  float64
+	round int
+}
+
+// lazyQueue is a max-heap on gain with ties broken toward lower set index,
+// matching plain Greedy's determinism.
+type lazyQueue []lazyEntry
+
+func (q lazyQueue) Len() int { return len(q) }
+func (q lazyQueue) Less(i, j int) bool {
+	if q[i].gain != q[j].gain {
+		return q[i].gain > q[j].gain
+	}
+	return q[i].idx < q[j].idx
+}
+func (q lazyQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *lazyQueue) Push(x interface{}) { *q = append(*q, x.(lazyEntry)) }
+func (q *lazyQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

@@ -1,0 +1,195 @@
+// Package mobility generates and manipulates node mobility traces for the
+// dynamic-network experiments (paper §VI–VII-E).
+//
+// The paper's dynamic evaluation uses tactical traces from the US Army
+// Research Laboratory's Network Science Research Laboratory: 90 nodes in 7
+// groups, periodically reporting positions during an operation. Those
+// traces are not redistributable, so this package implements the standard
+// synthetic surrogate for that trace family: Reference Point Group
+// Mobility (RPGM). Each group follows a leader performing a smoothed
+// random walk across the operation area; members jitter around their
+// group's reference point. RPGM preserves the two properties the MSC
+// experiments depend on — strong intra-group locality (dense, reliable
+// links inside squads) and gradual inter-group topology churn.
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"msc/internal/geom"
+	"msc/internal/graph"
+	"msc/internal/netbuild"
+	"msc/internal/xrand"
+)
+
+// Config parameterizes an RPGM trace.
+type Config struct {
+	// Groups is the number of squads (ARL traces use 7).
+	Groups int
+	// Nodes is the total node count, split as evenly as possible across
+	// groups (ARL traces use 90).
+	Nodes int
+	// Area is the operation area in meters.
+	Area geom.Rect
+	// Steps is the number of recorded time instances T.
+	Steps int
+	// StepSeconds is the wall-clock gap between instances.
+	StepSeconds float64
+	// LeaderSpeedMin/Max bound each group leader's speed in m/s; the
+	// leader's heading drifts smoothly with bounded turn rate.
+	LeaderSpeedMin, LeaderSpeedMax float64
+	// MemberRadius is how far members may roam from the group reference
+	// point, in meters.
+	MemberRadius float64
+}
+
+// DefaultConfig mirrors the scale of the ARL tactical traces.
+func DefaultConfig() Config {
+	return Config{
+		Groups:         7,
+		Nodes:          90,
+		Area:           geom.Rect{MinX: 0, MinY: 0, MaxX: 4000, MaxY: 4000},
+		Steps:          30,
+		StepSeconds:    30,
+		LeaderSpeedMin: 1.0,
+		LeaderSpeedMax: 4.0,
+		MemberRadius:   120,
+	}
+}
+
+// Trace holds the positions of every node at every time instance.
+type Trace struct {
+	// Positions[t][v] is node v's location at instance t.
+	Positions [][]geom.Point
+	// GroupOf[v] is node v's group index.
+	GroupOf []int
+	// StepSeconds is the time between instances.
+	StepSeconds float64
+}
+
+// Errors returned by Generate.
+var (
+	ErrGroups = errors.New("mobility: need at least one group")
+	ErrNodes  = errors.New("mobility: need at least two nodes")
+	ErrSteps  = errors.New("mobility: need at least one step")
+	ErrSpeed  = errors.New("mobility: speed bounds must satisfy 0 <= min <= max")
+)
+
+// Generate produces an RPGM trace, deterministic in rng.
+func Generate(cfg Config, rng *xrand.Rand) (*Trace, error) {
+	switch {
+	case cfg.Groups < 1:
+		return nil, fmt.Errorf("%w: %d", ErrGroups, cfg.Groups)
+	case cfg.Nodes < 2:
+		return nil, fmt.Errorf("%w: %d", ErrNodes, cfg.Nodes)
+	case cfg.Steps < 1:
+		return nil, fmt.Errorf("%w: %d", ErrSteps, cfg.Steps)
+	case cfg.LeaderSpeedMin < 0 || cfg.LeaderSpeedMax < cfg.LeaderSpeedMin:
+		return nil, fmt.Errorf("%w: [%v, %v]", ErrSpeed, cfg.LeaderSpeedMin, cfg.LeaderSpeedMax)
+	}
+	tr := &Trace{
+		Positions:   make([][]geom.Point, cfg.Steps),
+		GroupOf:     make([]int, cfg.Nodes),
+		StepSeconds: cfg.StepSeconds,
+	}
+	for v := 0; v < cfg.Nodes; v++ {
+		tr.GroupOf[v] = v % cfg.Groups
+	}
+	// Group reference points start spread over the area; headings random.
+	type leader struct {
+		pos     geom.Point
+		heading float64
+		speed   float64
+	}
+	leaders := make([]leader, cfg.Groups)
+	for gi := range leaders {
+		leaders[gi] = leader{
+			pos: geom.Point{
+				X: cfg.Area.MinX + rng.Float64()*cfg.Area.Width(),
+				Y: cfg.Area.MinY + rng.Float64()*cfg.Area.Height(),
+			},
+			heading: rng.Float64() * 2 * math.Pi,
+			speed:   cfg.LeaderSpeedMin + rng.Float64()*(cfg.LeaderSpeedMax-cfg.LeaderSpeedMin),
+		}
+	}
+	// Members keep a persistent offset target within MemberRadius that
+	// slowly re-randomizes, so squads look like loose formations rather
+	// than white noise.
+	offsets := make([]geom.Point, cfg.Nodes)
+	for v := range offsets {
+		offsets[v] = randOffset(cfg.MemberRadius, rng)
+	}
+	for t := 0; t < cfg.Steps; t++ {
+		snapshot := make([]geom.Point, cfg.Nodes)
+		for v := 0; v < cfg.Nodes; v++ {
+			ld := leaders[tr.GroupOf[v]]
+			if rng.Float64() < 0.2 {
+				offsets[v] = randOffset(cfg.MemberRadius, rng)
+			}
+			snapshot[v] = cfg.Area.Clamp(ld.pos.Add(offsets[v]))
+		}
+		tr.Positions[t] = snapshot
+		// Advance leaders for the next instance.
+		for gi := range leaders {
+			ld := &leaders[gi]
+			ld.heading += (rng.Float64() - 0.5) * math.Pi / 2 // bounded turn
+			ld.speed = clamp(ld.speed+(rng.Float64()-0.5)*0.5,
+				cfg.LeaderSpeedMin, cfg.LeaderSpeedMax)
+			step := ld.speed * cfg.StepSeconds
+			next := ld.pos.Add(geom.Point{
+				X: math.Cos(ld.heading) * step,
+				Y: math.Sin(ld.heading) * step,
+			})
+			// Bounce off the area boundary by reflecting the heading.
+			if next.X < cfg.Area.MinX || next.X > cfg.Area.MaxX {
+				ld.heading = math.Pi - ld.heading
+			}
+			if next.Y < cfg.Area.MinY || next.Y > cfg.Area.MaxY {
+				ld.heading = -ld.heading
+			}
+			ld.pos = cfg.Area.Clamp(next)
+		}
+	}
+	return tr, nil
+}
+
+func randOffset(radius float64, rng *xrand.Rand) geom.Point {
+	// Uniform in the disk of the given radius.
+	r := radius * math.Sqrt(rng.Float64())
+	theta := rng.Float64() * 2 * math.Pi
+	return geom.Point{X: r * math.Cos(theta), Y: r * math.Sin(theta)}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(math.Max(v, lo), hi)
+}
+
+// N returns the node count.
+func (tr *Trace) N() int { return len(tr.GroupOf) }
+
+// T returns the number of time instances.
+func (tr *Trace) T() int { return len(tr.Positions) }
+
+// Snapshot builds the communication graph at time instance t under the
+// given radio model.
+func (tr *Trace) Snapshot(t int, fm netbuild.FailureModel) (*graph.Graph, error) {
+	if t < 0 || t >= tr.T() {
+		return nil, fmt.Errorf("mobility: snapshot index %d out of range [0, %d)", t, tr.T())
+	}
+	return netbuild.Proximity(tr.Positions[t], fm)
+}
+
+// Snapshots builds the whole topology series G_1..G_T.
+func (tr *Trace) Snapshots(fm netbuild.FailureModel) ([]*graph.Graph, error) {
+	out := make([]*graph.Graph, tr.T())
+	for t := range out {
+		g, err := tr.Snapshot(t, fm)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: snapshot %d: %w", t, err)
+		}
+		out[t] = g
+	}
+	return out, nil
+}

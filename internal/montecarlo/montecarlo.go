@@ -1,0 +1,211 @@
+// Package montecarlo validates placements against the paper's underlying
+// delivery semantics by direct simulation.
+//
+// The MSC formulation promises that a "maintained" pair owns a path whose
+// failure probability is ≤ p_t — equivalently, a single transmission along
+// that path succeeds with probability ≥ 1 − p_t when links fail
+// independently. This package samples link up/down states and measures
+// per-pair delivery ratios, both along the designated best path
+// (BestPathDelivery — the exact quantity the formulation bounds) and under
+// opportunistic any-path routing (AnyPathDelivery — an upper bound that
+// flooding would achieve). Examples and tests use it to show the
+// end-to-end guarantee actually holds on placed networks.
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+	"msc/internal/shortestpath"
+	"msc/internal/xrand"
+)
+
+// Network couples a base graph with a shortcut placement. Shortcut edges
+// never fail (failure probability 0, §III-C).
+type Network struct {
+	g         *graph.Graph
+	shortcuts []graph.Edge
+	// edgeFail[i] is the failure probability of base edge i.
+	edgeFail []float64
+	// aug is the augmented graph used for any-path connectivity checks.
+	aug *graph.Graph
+}
+
+// NewNetwork prepares a simulation network.
+func NewNetwork(g *graph.Graph, shortcuts []graph.Edge) (*Network, error) {
+	edges := g.Edges()
+	fail := make([]float64, len(edges))
+	for i, e := range edges {
+		fail[i] = failprob.ProbFromLength(e.Length)
+	}
+	b := graph.NewBuilder(g.N())
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V, e.Length)
+	}
+	for _, f := range shortcuts {
+		b.AddEdge(f.U, f.V, 0)
+	}
+	aug, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("montecarlo: build augmented graph: %w", err)
+	}
+	return &Network{
+		g:         g,
+		shortcuts: append([]graph.Edge(nil), shortcuts...),
+		edgeFail:  fail,
+		aug:       aug,
+	}, nil
+}
+
+// Result summarizes a delivery simulation for one pair.
+type Result struct {
+	Pair pairs.Pair
+	// BestPath is the fraction of trials in which every link of the
+	// designated shortest (most reliable) path survived.
+	BestPath float64
+	// AnyPath is the fraction of trials in which any surviving route
+	// connected the pair (shortcuts always survive).
+	AnyPath float64
+	// PredictedBestPath is the analytic success probability
+	// e^(−d_F(u,w)) of the designated path, for comparison.
+	PredictedBestPath float64
+}
+
+// ErrTrials is returned for a non-positive trial count.
+var ErrTrials = errors.New("montecarlo: trials must be positive")
+
+// Run simulates the given pairs for the given number of independent trials.
+// Each trial samples every base link up/down; shortcut links always stay
+// up. Deterministic in rng.
+func (nw *Network) Run(ps []pairs.Pair, trials int, rng *xrand.Rand) ([]Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrTrials, trials)
+	}
+	// Designated best path per pair, in the augmented metric.
+	results := make([]Result, len(ps))
+	paths := make([][]graph.NodeID, len(ps))
+	for i, p := range ps {
+		dist, parent := shortestpath.DijkstraWithParents(nw.aug, p.U)
+		paths[i] = shortestpath.PathTo(parent, p.U, p.W)
+		results[i] = Result{
+			Pair:              p,
+			PredictedBestPath: 1 - failprob.ProbFromLength(dist[p.W]),
+		}
+	}
+	up := make([]bool, nw.g.M())
+	bestOK := make([]int, len(ps))
+	anyOK := make([]int, len(ps))
+	for t := 0; t < trials; t++ {
+		for i, pf := range nw.edgeFail {
+			up[i] = !rng.Bernoulli(pf)
+		}
+		survivors := nw.survivingGraph(up)
+		for i, p := range ps {
+			if paths[i] != nil && nw.pathSurvives(paths[i], up) {
+				bestOK[i]++
+				anyOK[i]++
+				continue
+			}
+			if connected(survivors, p.U, p.W) {
+				anyOK[i]++
+			}
+		}
+	}
+	for i := range results {
+		results[i].BestPath = float64(bestOK[i]) / float64(trials)
+		results[i].AnyPath = float64(anyOK[i]) / float64(trials)
+	}
+	return results, nil
+}
+
+// survivingGraph assembles adjacency lists of the up base edges plus all
+// shortcuts.
+func (nw *Network) survivingGraph(up []bool) [][]graph.NodeID {
+	adj := make([][]graph.NodeID, nw.g.N())
+	for i, e := range nw.g.Edges() {
+		if up[i] {
+			adj[e.U] = append(adj[e.U], e.V)
+			adj[e.V] = append(adj[e.V], e.U)
+		}
+	}
+	for _, f := range nw.shortcuts {
+		adj[f.U] = append(adj[f.U], f.V)
+		adj[f.V] = append(adj[f.V], f.U)
+	}
+	return adj
+}
+
+// pathSurvives reports whether every hop of the node path is up. Shortcut
+// hops survive unconditionally; a hop that is both a shortcut and a base
+// edge counts as surviving (the reliable link carries it).
+func (nw *Network) pathSurvives(path []graph.NodeID, up []bool) bool {
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		if nw.isShortcut(u, v) {
+			continue
+		}
+		idx, ok := nw.edgeIndex(u, v)
+		if !ok || !up[idx] {
+			return false
+		}
+	}
+	return true
+}
+
+func (nw *Network) isShortcut(u, v graph.NodeID) bool {
+	for _, f := range nw.shortcuts {
+		if (f.U == u && f.V == v) || (f.U == v && f.V == u) {
+			return true
+		}
+	}
+	return false
+}
+
+// edgeIndex finds the base-edge index of (u,v) by binary search over the
+// canonical sorted edge list.
+func (nw *Network) edgeIndex(u, v graph.NodeID) (int, bool) {
+	if u > v {
+		u, v = v, u
+	}
+	edges := nw.g.Edges()
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := edges[mid]
+		if e.U < u || (e.U == u && e.V < v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(edges) && edges[lo].U == u && edges[lo].V == v {
+		return lo, true
+	}
+	return 0, false
+}
+
+func connected(adj [][]graph.NodeID, src, dst graph.NodeID) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, len(adj))
+	stack := []graph.NodeID{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if v == dst {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}

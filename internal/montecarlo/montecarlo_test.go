@@ -1,0 +1,154 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+	"msc/internal/xrand"
+)
+
+func chainGraph(t *testing.T, probs []float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(len(probs) + 1)
+	for i, p := range probs {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), failprob.LengthFromProb(p))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBestPathMatchesAnalytic(t *testing.T) {
+	// 3-hop chain, each hop failing 20%: delivery = 0.8³ = 0.512.
+	g := chainGraph(t, []float64{0.2, 0.2, 0.2})
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run([]pairs.Pair{{U: 0, W: 3}}, 40000, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if math.Abs(r.PredictedBestPath-0.512) > 1e-9 {
+		t.Fatalf("predicted = %v, want 0.512", r.PredictedBestPath)
+	}
+	if math.Abs(r.BestPath-0.512) > 0.01 {
+		t.Fatalf("simulated = %v, want ≈ 0.512", r.BestPath)
+	}
+	// Single path: any-path equals best-path.
+	if r.AnyPath != r.BestPath {
+		t.Fatalf("any-path %v != best-path %v on a chain", r.AnyPath, r.BestPath)
+	}
+}
+
+func TestShortcutsNeverFail(t *testing.T) {
+	g := chainGraph(t, []float64{0.5, 0.5, 0.5})
+	nw, err := NewNetwork(g, []graph.Edge{{U: 0, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run([]pairs.Pair{{U: 0, W: 3}}, 2000, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].BestPath != 1 || res[0].AnyPath != 1 || res[0].PredictedBestPath != 1 {
+		t.Fatalf("direct shortcut should be perfect: %+v", res[0])
+	}
+}
+
+func TestShortcutMidpointImprovesDelivery(t *testing.T) {
+	// Chain 0-1-2-3-4 at 30% per hop; shortcut (0, 3) leaves one real hop.
+	g := chainGraph(t, []float64{0.3, 0.3, 0.3, 0.3})
+	base, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upgraded, err := NewNetwork(g, []graph.Edge{{U: 0, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := []pairs.Pair{{U: 0, W: 4}}
+	resBase, err := base.Run(pr, 20000, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resUp, err := upgraded.Run(pr, 20000, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: 0.7⁴ ≈ 0.24 before, 0.7 after.
+	if math.Abs(resUp[0].PredictedBestPath-0.7) > 1e-9 {
+		t.Fatalf("upgraded predicted = %v", resUp[0].PredictedBestPath)
+	}
+	if resUp[0].BestPath <= resBase[0].BestPath {
+		t.Fatalf("shortcut did not help: %v vs %v", resUp[0].BestPath, resBase[0].BestPath)
+	}
+}
+
+func TestAnyPathAtLeastBestPath(t *testing.T) {
+	// Two parallel 2-hop routes: any-path > best-path.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, failprob.LengthFromProb(0.3))
+	b.AddEdge(1, 3, failprob.LengthFromProb(0.3))
+	b.AddEdge(0, 2, failprob.LengthFromProb(0.31))
+	b.AddEdge(2, 3, failprob.LengthFromProb(0.31))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run([]pairs.Pair{{U: 0, W: 3}}, 30000, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.AnyPath < r.BestPath {
+		t.Fatalf("any-path %v < best-path %v", r.AnyPath, r.BestPath)
+	}
+	// Analytic any-path: 1 - (1-q1)(1-q2) with q1=0.49, q2≈0.476.
+	want := 1 - (1-0.7*0.7)*(1-0.69*0.69)
+	if math.Abs(r.AnyPath-want) > 0.02 {
+		t.Fatalf("any-path = %v, want ≈ %v", r.AnyPath, want)
+	}
+}
+
+func TestUnreachablePair(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, failprob.LengthFromProb(0.1))
+	b.AddEdge(2, 3, failprob.LengthFromProb(0.1))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run([]pairs.Pair{{U: 0, W: 3}}, 100, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].BestPath != 0 || res[0].AnyPath != 0 || res[0].PredictedBestPath != 0 {
+		t.Fatalf("disconnected pair delivered: %+v", res[0])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := chainGraph(t, []float64{0.1})
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Run([]pairs.Pair{{U: 0, W: 1}}, 0, xrand.New(1)); err == nil {
+		t.Fatal("expected ErrTrials")
+	}
+}

@@ -1,0 +1,77 @@
+// Package netbuild constructs wireless-network graphs from node positions.
+//
+// All three workloads in the paper's evaluation (random geometric graphs,
+// the Gowalla location-based social network, and the tactical mobility
+// traces) share the same physical model: two nodes are connected when
+// within a communication radius, and the link failure probability is
+// proportional to the geographical distance between the endpoints
+// (§VII-A). This package is that model.
+package netbuild
+
+import (
+	"errors"
+	"fmt"
+
+	"msc/internal/failprob"
+	"msc/internal/geom"
+	"msc/internal/graph"
+)
+
+// FailureModel maps link distance to failure probability.
+type FailureModel struct {
+	// Radius is the communication radius: nodes farther apart than Radius
+	// share no link.
+	Radius float64
+	// FailureAtRadius is the failure probability of a link at exactly
+	// Radius; shorter links scale down linearly:
+	// p(d) = FailureAtRadius · d / Radius (the paper's "proportional to
+	// the geographical distance").
+	FailureAtRadius float64
+}
+
+// Errors returned by the builders.
+var (
+	ErrRadius  = errors.New("netbuild: radius must be positive")
+	ErrFailure = errors.New("netbuild: failure-at-radius must lie in [0, 1)")
+	ErrNoNodes = errors.New("netbuild: need at least two nodes")
+)
+
+// Validate checks the model parameters.
+func (fm FailureModel) Validate() error {
+	if fm.Radius <= 0 {
+		return fmt.Errorf("%w: %v", ErrRadius, fm.Radius)
+	}
+	if fm.FailureAtRadius < 0 || fm.FailureAtRadius >= 1 {
+		return fmt.Errorf("%w: %v", ErrFailure, fm.FailureAtRadius)
+	}
+	return nil
+}
+
+// FailureProb returns the link failure probability at distance d ≤ Radius.
+func (fm FailureModel) FailureProb(d float64) float64 {
+	return fm.FailureAtRadius * d / fm.Radius
+}
+
+// EdgeLength returns the −ln(1−p) length of a link at distance d.
+func (fm FailureModel) EdgeLength(d float64) float64 {
+	return failprob.LengthFromProb(fm.FailureProb(d))
+}
+
+// Proximity builds the wireless graph over the given positions: one edge
+// per node pair within the model radius, weighted by the failure-derived
+// length. Node coordinates are attached to the graph.
+func Proximity(pts []geom.Point, fm FailureModel) (*graph.Graph, error) {
+	if err := fm.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrNoNodes, len(pts))
+	}
+	b := graph.NewBuilder(len(pts))
+	b.SetCoords(pts)
+	grid := geom.NewGrid(pts, fm.Radius)
+	grid.PairsWithin(fm.Radius, func(i, j int, dist float64) {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(j), fm.EdgeLength(dist))
+	})
+	return b.Build()
+}

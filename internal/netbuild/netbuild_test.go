@@ -1,0 +1,104 @@
+package netbuild
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"msc/internal/failprob"
+	"msc/internal/geom"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		fm   FailureModel
+		want error
+	}{
+		{FailureModel{Radius: 0, FailureAtRadius: 0.1}, ErrRadius},
+		{FailureModel{Radius: -1, FailureAtRadius: 0.1}, ErrRadius},
+		{FailureModel{Radius: 1, FailureAtRadius: -0.1}, ErrFailure},
+		{FailureModel{Radius: 1, FailureAtRadius: 1}, ErrFailure},
+		{FailureModel{Radius: 1, FailureAtRadius: 0.5}, nil},
+	}
+	for i, tc := range cases {
+		err := tc.fm.Validate()
+		if tc.want == nil && err != nil {
+			t.Errorf("case %d: unexpected error %v", i, err)
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("case %d: err = %v, want %v", i, err, tc.want)
+		}
+	}
+}
+
+func TestFailureProportionalToDistance(t *testing.T) {
+	fm := FailureModel{Radius: 200, FailureAtRadius: 0.4}
+	if p := fm.FailureProb(0); p != 0 {
+		t.Fatalf("p(0) = %v", p)
+	}
+	if p := fm.FailureProb(100); math.Abs(p-0.2) > 1e-12 {
+		t.Fatalf("p(100) = %v, want 0.2", p)
+	}
+	if p := fm.FailureProb(200); math.Abs(p-0.4) > 1e-12 {
+		t.Fatalf("p(200) = %v, want 0.4", p)
+	}
+	// Length is the −ln(1−p) transform of that probability.
+	if l := fm.EdgeLength(100); math.Abs(l-failprob.LengthFromProb(0.2)) > 1e-12 {
+		t.Fatalf("length(100) = %v", l)
+	}
+}
+
+func TestProximityGraph(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0, Y: 0},
+		{X: 100, Y: 0}, // within 150 of node 0
+		{X: 300, Y: 0}, // only within 150 of node 1? dist(1,2)=200 > 150 — isolated
+	}
+	fm := FailureModel{Radius: 150, FailureAtRadius: 0.3}
+	g, err := Proximity(pts, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d, want 3, 1", g.N(), g.M())
+	}
+	l, ok := g.EdgeLength(0, 1)
+	if !ok {
+		t.Fatal("missing edge (0,1)")
+	}
+	want := fm.EdgeLength(100)
+	if math.Abs(l-want) > 1e-12 {
+		t.Fatalf("length = %v, want %v", l, want)
+	}
+	if g.Coords() == nil {
+		t.Fatal("coordinates not attached")
+	}
+}
+
+func TestProximityErrors(t *testing.T) {
+	fm := FailureModel{Radius: 1, FailureAtRadius: 0.5}
+	if _, err := Proximity([]geom.Point{{X: 0}}, fm); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("err = %v, want ErrNoNodes", err)
+	}
+	if _, err := Proximity([]geom.Point{{X: 0}, {X: 1}}, FailureModel{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestProximityDense(t *testing.T) {
+	// A 3×3 grid with radius covering horizontal/vertical neighbors only.
+	var pts []geom.Point
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			pts = append(pts, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	g, err := Proximity(pts, FailureModel{Radius: 1.0, FailureAtRadius: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 axis-aligned unit edges in a 3×3 grid.
+	if g.M() != 12 {
+		t.Fatalf("m = %d, want 12", g.M())
+	}
+}

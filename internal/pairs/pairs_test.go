@@ -1,0 +1,174 @@
+package pairs
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"msc/internal/graph"
+	"msc/internal/shortestpath"
+	"msc/internal/xrand"
+)
+
+func TestNewCanonical(t *testing.T) {
+	p := New(5, 2)
+	if p.U != 2 || p.W != 5 {
+		t.Fatalf("New(5,2) = %v", p)
+	}
+	if p.String() != "{2, 5}" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestNewSetValidation(t *testing.T) {
+	cases := []struct {
+		ps   []Pair
+		want error
+	}{
+		{nil, ErrEmpty},
+		{[]Pair{{U: 1, W: 1}}, ErrSelfPair},
+		{[]Pair{{U: 0, W: 9}}, ErrNodeRange},
+		{[]Pair{{U: 0, W: 1}, {U: 1, W: 0}}, ErrDupPair},
+	}
+	for i, tc := range cases {
+		if _, err := NewSet(5, tc.ps); !errors.Is(err, tc.want) {
+			t.Errorf("case %d: err = %v, want %v", i, err, tc.want)
+		}
+	}
+}
+
+func TestWeightsHalveMultiplicity(t *testing.T) {
+	// S = {{0,1},{0,2}}: node 0 appears twice → weight 1; 1, 2 → 0.5.
+	s := MustNewSet(4, []Pair{{U: 0, W: 1}, {U: 0, W: 2}})
+	if w := s.Weight(0); w != 1 {
+		t.Fatalf("weight(0) = %v, want 1", w)
+	}
+	if w := s.Weight(1); w != 0.5 {
+		t.Fatalf("weight(1) = %v, want 0.5", w)
+	}
+	if w := s.Weight(3); w != 0 {
+		t.Fatalf("weight(3) = %v, want 0 (uninvolved)", w)
+	}
+	// Σ weights = m, the identity ν's definition relies on.
+	if tw := s.TotalWeight(); tw != 2 {
+		t.Fatalf("TotalWeight = %v, want m=2", tw)
+	}
+	nodes := s.Nodes()
+	if len(nodes) != 3 || nodes[0] != 0 || nodes[2] != 2 {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestCommonNode(t *testing.T) {
+	s := MustNewSet(5, []Pair{{U: 2, W: 0}, {U: 2, W: 4}, {U: 1, W: 2}})
+	u, ok := s.CommonNode()
+	if !ok || u != 2 {
+		t.Fatalf("CommonNode = %v, %v", u, ok)
+	}
+	s2 := MustNewSet(5, []Pair{{U: 0, W: 1}, {U: 2, W: 3}})
+	if _, ok := s2.CommonNode(); ok {
+		t.Fatal("false common node")
+	}
+	// Single pair: either endpoint is common; must return one of them.
+	s3 := MustNewSet(5, []Pair{{U: 3, W: 4}})
+	u3, ok3 := s3.CommonNode()
+	if !ok3 || (u3 != 3 && u3 != 4) {
+		t.Fatalf("single pair common = %v, %v", u3, ok3)
+	}
+}
+
+func lineTable(t *testing.T, n int) *shortestpath.Table {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shortestpath.NewTable(g)
+}
+
+func TestSampleViolating(t *testing.T) {
+	table := lineTable(t, 10) // distances = hop counts
+	rng := xrand.New(1)
+	// d_t = 2.5: violating pairs are those ≥ 3 hops apart.
+	s, err := SampleViolating(table, 2.5, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("sampled %d pairs", s.Len())
+	}
+	for _, p := range s.Pairs() {
+		if table.Dist(p.U, p.W) <= 2.5 {
+			t.Fatalf("pair %v does not violate", p)
+		}
+	}
+}
+
+func TestSampleViolatingInsufficient(t *testing.T) {
+	table := lineTable(t, 3)
+	if _, err := SampleViolating(table, 100, 1, xrand.New(1)); err == nil {
+		t.Fatal("expected error: no pair violates a huge threshold")
+	}
+}
+
+func TestSampleViolatingWithCommonNode(t *testing.T) {
+	table := lineTable(t, 12)
+	rng := xrand.New(2)
+	s, err := SampleViolatingWithCommonNode(table, 2.5, 4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Pairs() {
+		if p.U != 0 && p.W != 0 {
+			t.Fatalf("pair %v misses common node", p)
+		}
+		if table.Dist(p.U, p.W) <= 2.5 {
+			t.Fatalf("pair %v does not violate", p)
+		}
+	}
+	u, ok := s.CommonNode()
+	if !ok || u != 0 {
+		t.Fatalf("common node = %v, %v", u, ok)
+	}
+}
+
+func TestSampleViolatingWithCommonNodeInsufficient(t *testing.T) {
+	table := lineTable(t, 4)
+	if _, err := SampleViolatingWithCommonNode(table, 2.5, 3, 0, xrand.New(1)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSampleViolatingDisconnected(t *testing.T) {
+	// Disconnected graph: Inf distances violate any threshold.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := shortestpath.NewTable(g)
+	s, err := SampleViolating(table, 10, 3, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Pairs() {
+		if !math.IsInf(table.Dist(p.U, p.W), 1) {
+			t.Fatalf("pair %v should be disconnected", p)
+		}
+	}
+}
+
+func TestAtAndLen(t *testing.T) {
+	s := MustNewSet(4, []Pair{{U: 3, W: 1}, {U: 0, W: 2}})
+	if s.Len() != 2 || s.N() != 4 {
+		t.Fatal("Len/N wrong")
+	}
+	if p := s.At(0); p.U != 1 || p.W != 3 {
+		t.Fatalf("At(0) = %v (should be canonical)", p)
+	}
+}

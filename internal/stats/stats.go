@@ -1,0 +1,88 @@
+// Package stats provides the small set of summary statistics the experiment
+// harness reports: mean, standard deviation, min/max, and normal-theory
+// confidence intervals over repeated trials.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean (1.96 · std / sqrt(n)). Zero for n < 2.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// String renders the summary as "mean ± ci [min, max] (n=..)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g] (n=%d)", s.Mean, s.CI95(), s.Min, s.Max, s.N)
+}
+
+// MeanInts is a convenience for integer observations (e.g. maintained-pair
+// counts across trials).
+func MeanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// SummarizeInts converts xs to float64 and summarizes.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}

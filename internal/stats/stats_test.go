@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of 1..5 = sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Std != 0 || s.CI95() != 0 || s.Median != 7 {
+		t.Fatalf("single obs summary = %+v", s)
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Summarize(nil) },
+		func() { MeanInts(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := Summary{N: 10, Std: 2}
+	large := Summary{N: 1000, Std: 2}
+	if small.CI95() <= large.CI95() {
+		t.Fatal("CI95 should shrink with n")
+	}
+}
+
+func TestIntsHelpers(t *testing.T) {
+	if m := MeanInts([]int{1, 2, 3}); m != 2 {
+		t.Fatalf("MeanInts = %v", m)
+	}
+	s := SummarizeInts([]int{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 {
+		t.Fatalf("SummarizeInts = %+v", s)
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if Summarize([]float64{1, 2}).String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Properties: min ≤ median ≤ max and min ≤ mean ≤ max; mean of shifted
+// sample shifts by the same amount.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		if s.Min > s.Median+1e-9 || s.Median > s.Max+1e-9 {
+			return false
+		}
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

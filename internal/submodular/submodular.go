@@ -1,0 +1,240 @@
+// Package submodular provides a generic greedy maximizer for monotone set
+// functions under a cardinality constraint, plus exhaustive property
+// checkers used by the test suite to verify the paper's structural claims
+// (μ and ν are submodular, σ in general is not — §IV-B, §V-A, §V-B).
+//
+// When the objective is monotone submodular, Greedy achieves the (1 − 1/e)
+// approximation of Nemhauser–Wolsey–Fisher; LazyGreedy returns the identical
+// selection while skipping re-evaluations whose stale upper bound cannot
+// win. For non-submodular objectives (σ), Greedy is still well-defined —
+// it is exactly the "greedy on σ" arm of the sandwich algorithm — but
+// LazyGreedy must not be used, since stale bounds are no longer valid.
+package submodular
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Value evaluates a set function on a selection of ground-set elements.
+// Implementations must be deterministic and treat the selection as a set
+// (order-insensitive).
+type Value func(selection []int) float64
+
+// Marginal evaluates the gain of adding element e to the current selection.
+// The current selection is passed for context; implementations typically
+// maintain incremental state via the Accept callback of Greedy instead.
+type Marginal func(current []int, e int) float64
+
+// Oracle is the incremental interface the greedy maximizers drive. It
+// avoids recomputing the full objective from scratch at every probe.
+type Oracle interface {
+	// Gain returns f(S ∪ {e}) − f(S) for the oracle's current S.
+	Gain(e int) float64
+	// Accept commits element e into S.
+	Accept(e int)
+}
+
+// funcOracle adapts a plain Value function into an Oracle, recomputing from
+// scratch. Fine for tests and small ground sets.
+type funcOracle struct {
+	f   Value
+	cur []int
+	val float64
+}
+
+// NewFuncOracle wraps a Value function as an Oracle with empty initial
+// selection.
+func NewFuncOracle(f Value) Oracle {
+	return &funcOracle{f: f, val: f(nil)}
+}
+
+func (o *funcOracle) Gain(e int) float64 {
+	return o.f(append(append([]int(nil), o.cur...), e)) - o.val
+}
+
+func (o *funcOracle) Accept(e int) {
+	o.cur = append(o.cur, e)
+	o.val = o.f(o.cur)
+}
+
+// Greedy selects up to k elements from the ground set [0, n) maximizing the
+// oracle's objective, stopping early when every remaining marginal gain is
+// ≤ 0. Ties break toward the smallest element, making runs deterministic.
+func Greedy(n, k int, o Oracle) []int {
+	var sel []int
+	for len(sel) < k {
+		bestE, bestGain := -1, 0.0
+		for e := 0; e < n; e++ {
+			if contains(sel, e) {
+				continue
+			}
+			if g := o.Gain(e); g > bestGain {
+				bestE, bestGain = e, g
+			}
+		}
+		if bestE < 0 {
+			break
+		}
+		o.Accept(bestE)
+		sel = append(sel, bestE)
+	}
+	return sel
+}
+
+// LazyGreedy is CELF lazy greedy: valid only for submodular objectives,
+// where a stale marginal gain upper-bounds the true one. Identical output
+// to Greedy under submodularity.
+func LazyGreedy(n, k int, o Oracle) []int {
+	pq := make(gainQueue, 0, n)
+	for e := 0; e < n; e++ {
+		if g := o.Gain(e); g > 0 {
+			pq = append(pq, gainEntry{e: e, gain: g, round: 0})
+		}
+	}
+	heap.Init(&pq)
+	var sel []int
+	round := 0
+	for len(sel) < k && pq.Len() > 0 {
+		top := pq[0]
+		if top.round == round {
+			heap.Pop(&pq)
+			if top.gain <= 0 {
+				break
+			}
+			o.Accept(top.e)
+			sel = append(sel, top.e)
+			round++
+			continue
+		}
+		top.gain = o.Gain(top.e)
+		top.round = round
+		if top.gain <= 0 {
+			heap.Pop(&pq)
+			continue
+		}
+		pq[0] = top
+		heap.Fix(&pq, 0)
+	}
+	return sel
+}
+
+// IsMonotone exhaustively checks f(X) ≤ f(Y) for all X ⊆ Y over the ground
+// set [0, n). Exponential; for test-sized n only (n ≤ ~12).
+func IsMonotone(n int, f Value) bool {
+	subsets := enumerate(n)
+	vals := make([]float64, len(subsets))
+	for i, s := range subsets {
+		vals[i] = f(s)
+	}
+	for xi, x := range subsets {
+		for yi, y := range subsets {
+			if isSubset(xi, yi) && vals[xi] > vals[yi]+1e-12 {
+				_ = x
+				_ = y
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSubmodular exhaustively checks the diminishing-returns inequality
+// f(X ∪ {e}) − f(X) ≥ f(Y ∪ {e}) − f(Y) for all X ⊆ Y and e ∉ Y over the
+// ground set [0, n). Exponential; for test-sized n only. It returns a
+// witness violating the inequality when one exists.
+func IsSubmodular(n int, f Value) (ok bool, witness *Violation) {
+	subsets := enumerate(n)
+	vals := make([]float64, len(subsets))
+	for i, s := range subsets {
+		vals[i] = f(s)
+	}
+	for xi := range subsets {
+		for yi := range subsets {
+			if !isSubset(xi, yi) {
+				continue
+			}
+			for e := 0; e < n; e++ {
+				if yi&(1<<uint(e)) != 0 {
+					continue
+				}
+				gainX := vals[xi|1<<uint(e)] - vals[xi]
+				gainY := vals[yi|1<<uint(e)] - vals[yi]
+				if gainX < gainY-1e-12 {
+					return false, &Violation{
+						X: subsets[xi], Y: subsets[yi], E: e,
+						GainX: gainX, GainY: gainY,
+					}
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// Violation is a witness that a function is not submodular: adding E to the
+// superset Y gained strictly more than adding it to the subset X.
+type Violation struct {
+	X, Y         []int
+	E            int
+	GainX, GainY float64
+}
+
+func enumerate(n int) [][]int {
+	total := 1 << uint(n)
+	subsets := make([][]int, total)
+	for mask := 0; mask < total; mask++ {
+		var s []int
+		for e := 0; e < n; e++ {
+			if mask&(1<<uint(e)) != 0 {
+				s = append(s, e)
+			}
+		}
+		subsets[mask] = s
+	}
+	return subsets
+}
+
+func isSubset(xMask, yMask int) bool { return xMask&^yMask == 0 }
+
+func contains(sel []int, e int) bool {
+	for _, s := range sel {
+		if s == e {
+			return true
+		}
+	}
+	return false
+}
+
+// SortedCopy returns a sorted copy of a selection; handy for stable
+// comparisons in tests.
+func SortedCopy(sel []int) []int {
+	out := append([]int(nil), sel...)
+	sort.Ints(out)
+	return out
+}
+
+type gainEntry struct {
+	e     int
+	gain  float64
+	round int
+}
+
+type gainQueue []gainEntry
+
+func (q gainQueue) Len() int { return len(q) }
+func (q gainQueue) Less(i, j int) bool {
+	if q[i].gain != q[j].gain {
+		return q[i].gain > q[j].gain
+	}
+	return q[i].e < q[j].e
+}
+func (q gainQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *gainQueue) Push(x interface{}) { *q = append(*q, x.(gainEntry)) }
+func (q *gainQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

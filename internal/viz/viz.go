@@ -1,0 +1,210 @@
+// Package viz renders networks and shortcut placements, regenerating the
+// paper's Fig. 1 (placement of the approximation algorithm vs the random
+// baseline on a geometric graph). SVG output shows node positions, base
+// links shaded by failure probability, important pairs, and shortcut
+// edges; an ASCII mode summarizes the same picture for terminals.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"msc/internal/failprob"
+	"msc/internal/geom"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+)
+
+// Scene is everything one rendering shows.
+type Scene struct {
+	Graph *graph.Graph
+	// Pairs marks the important social pairs (drawn as ring highlights).
+	Pairs *pairs.Set
+	// Shortcuts are the placed reliable links (drawn as bold dashed arcs).
+	Shortcuts []graph.Edge
+	// Title is printed above the drawing.
+	Title string
+}
+
+// SVGOptions tune the raster.
+type SVGOptions struct {
+	// Width is the canvas width in pixels (height follows the aspect
+	// ratio of the node bounding box). Default 640.
+	Width int
+	// NodeRadius in pixels. Default 4.
+	NodeRadius float64
+}
+
+// WriteSVG renders the scene as a standalone SVG document. The graph must
+// carry node coordinates.
+func WriteSVG(w io.Writer, sc Scene, opts SVGOptions) error {
+	coords := sc.Graph.Coords()
+	if coords == nil {
+		return fmt.Errorf("viz: graph has no coordinates")
+	}
+	if opts.Width <= 0 {
+		opts.Width = 640
+	}
+	if opts.NodeRadius <= 0 {
+		opts.NodeRadius = 4
+	}
+	const margin = 24.0
+	bb := geom.BoundingBox(coords)
+	spanX := bb.Width()
+	spanY := bb.Height()
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	width := float64(opts.Width)
+	height := width * spanY / spanX
+	proj := func(p geom.Point) (float64, float64) {
+		x := margin + (p.X-bb.MinX)/spanX*(width-2*margin)
+		y := margin + (1-(p.Y-bb.MinY)/spanY)*(height-2*margin)
+		return x, y
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height+28, width, height+28)
+	fmt.Fprintf(&sb, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if sc.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%.0f" y="18" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+			width/2, escapeXML(sc.Title))
+	}
+	fmt.Fprintf(&sb, `<g transform="translate(0,24)">`+"\n")
+
+	// Base links, darker for more reliable links.
+	for _, e := range sc.Graph.Edges() {
+		x1, y1 := proj(coords[e.U])
+		x2, y2 := proj(coords[e.V])
+		p := failprob.ProbFromLength(e.Length)
+		gray := int(120 + 120*p)
+		if gray > 230 {
+			gray = 230
+		}
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="rgb(%d,%d,%d)" stroke-width="1"/>`+"\n",
+			x1, y1, x2, y2, gray, gray, gray)
+	}
+	// Important pairs as thin colored chords.
+	if sc.Pairs != nil {
+		for _, p := range sc.Pairs.Pairs() {
+			x1, y1 := proj(coords[p.U])
+			x2, y2 := proj(coords[p.W])
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#7aa6d8" stroke-width="0.7" stroke-dasharray="2,3"/>`+"\n",
+				x1, y1, x2, y2)
+		}
+	}
+	// Shortcuts as bold dashed red arcs.
+	for _, f := range sc.Shortcuts {
+		x1, y1 := proj(coords[f.U])
+		x2, y2 := proj(coords[f.V])
+		mx, my := (x1+x2)/2, (y1+y2)/2
+		// Bow the arc perpendicular to the chord so parallel shortcuts
+		// stay distinguishable.
+		dx, dy := x2-x1, y2-y1
+		norm := math.Hypot(dx, dy)
+		if norm == 0 {
+			norm = 1
+		}
+		off := math.Min(30, norm/4)
+		cx, cy := mx-dy/norm*off, my+dx/norm*off
+		fmt.Fprintf(&sb, `<path d="M %.1f %.1f Q %.1f %.1f %.1f %.1f" fill="none" stroke="#c0392b" stroke-width="2.2" stroke-dasharray="7,4"/>`+"\n",
+			x1, y1, cx, cy, x2, y2)
+	}
+	// Nodes; pair members filled darker.
+	member := map[graph.NodeID]bool{}
+	if sc.Pairs != nil {
+		for _, p := range sc.Pairs.Pairs() {
+			member[p.U] = true
+			member[p.W] = true
+		}
+	}
+	for i, p := range coords {
+		x, y := proj(p)
+		fill := "#bdc3c7"
+		if member[graph.NodeID(i)] {
+			fill = "#2c3e50"
+		}
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#555" stroke-width="0.5"/>`+"\n",
+			x, y, opts.NodeRadius, fill)
+	}
+	sb.WriteString("</g>\n</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteASCII prints a terminal summary of the scene: grid sketch of node
+// density plus a table of the placed shortcuts.
+func WriteASCII(w io.Writer, sc Scene) error {
+	coords := sc.Graph.Coords()
+	if coords == nil {
+		return fmt.Errorf("viz: graph has no coordinates")
+	}
+	const cols, rows = 60, 24
+	bb := geom.BoundingBox(coords)
+	spanX, spanY := bb.Width(), bb.Height()
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", cols))
+	}
+	cell := func(p geom.Point) (int, int) {
+		c := int((p.X - bb.MinX) / spanX * float64(cols-1))
+		r := int((1 - (p.Y-bb.MinY)/spanY) * float64(rows-1))
+		return r, c
+	}
+	for _, p := range coords {
+		r, c := cell(p)
+		if grid[r][c] == ' ' {
+			grid[r][c] = '.'
+		}
+	}
+	if sc.Pairs != nil {
+		for _, pr := range sc.Pairs.Pairs() {
+			for _, v := range []graph.NodeID{pr.U, pr.W} {
+				r, c := cell(coords[v])
+				grid[r][c] = 'o'
+			}
+		}
+	}
+	for i, f := range sc.Shortcuts {
+		mark := rune('A' + i%26)
+		for _, v := range []graph.NodeID{f.U, f.V} {
+			r, c := cell(coords[v])
+			grid[r][c] = mark
+		}
+	}
+	var sb strings.Builder
+	if sc.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", sc.Title)
+	}
+	border := "+" + strings.Repeat("-", cols) + "+\n"
+	sb.WriteString(border)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteString("|\n")
+	}
+	sb.WriteString(border)
+	for i, f := range sc.Shortcuts {
+		fmt.Fprintf(&sb, "  shortcut %c: %s -- %s\n", 'A'+i%26, sc.Graph.Label(f.U), sc.Graph.Label(f.V))
+	}
+	sb.WriteString("  legend: '.' node, 'o' important-pair member, letters = shortcut endpoints\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,101 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"msc/internal/geom"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+)
+
+func scene(t *testing.T) Scene {
+	t.Helper()
+	g, err := graph.NewBuilder(4).
+		SetCoords([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}}).
+		AddEdge(0, 1, 0.1).
+		AddEdge(1, 3, 0.2).
+		AddEdge(0, 2, 0.3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scene{
+		Graph:     g,
+		Pairs:     pairs.MustNewSet(4, []pairs.Pair{{U: 0, W: 3}}),
+		Shortcuts: []graph.Edge{{U: 2, V: 3}},
+		Title:     "test <scene> & co",
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, scene(t), SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "<circle", "<line", "<path", // structure
+		"test &lt;scene&gt; &amp; co", // escaped title
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// 3 base edges, 1 pair chord → 4 <line> elements.
+	if got := strings.Count(out, "<line"); got != 4 {
+		t.Fatalf("line count = %d, want 4", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 4 {
+		t.Fatalf("circle count = %d, want 4", got)
+	}
+	// Shortcut arc.
+	if got := strings.Count(out, "<path"); got != 1 {
+		t.Fatalf("path count = %d, want 1", got)
+	}
+}
+
+func TestWriteASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteASCII(&buf, scene(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "shortcut A:") {
+		t.Fatalf("ASCII missing shortcut legend:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Fatal("ASCII missing legend")
+	}
+	// The grid box borders.
+	if strings.Count(out, "+") < 4 {
+		t.Fatal("ASCII missing borders")
+	}
+}
+
+func TestNoCoordinatesError(t *testing.T) {
+	g := graph.NewBuilder(2).AddEdge(0, 1, 0.1).MustBuild()
+	sc := Scene{Graph: g}
+	if err := WriteSVG(&bytes.Buffer{}, sc, SVGOptions{}); err == nil {
+		t.Fatal("expected error without coordinates")
+	}
+	if err := WriteASCII(&bytes.Buffer{}, sc); err == nil {
+		t.Fatal("expected error without coordinates")
+	}
+}
+
+func TestDegenerateGeometry(t *testing.T) {
+	// All nodes at the same point must not divide by zero.
+	g := graph.NewBuilder(2).
+		SetCoords([]geom.Point{{X: 0.5, Y: 0.5}, {X: 0.5, Y: 0.5}}).
+		AddEdge(0, 1, 0.1).
+		MustBuild()
+	sc := Scene{Graph: g, Shortcuts: []graph.Edge{{U: 0, V: 1}}}
+	if err := WriteSVG(&bytes.Buffer{}, sc, SVGOptions{Width: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteASCII(&bytes.Buffer{}, sc); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitIndependentButDeterministic(t *testing.T) {
+	a1 := New(7).Split()
+	a2 := New(7).Split()
+	if a1.Int63() != a2.Int63() {
+		t.Fatal("split streams not reproducible")
+	}
+	// Parent and child streams differ.
+	parent := New(7)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 20; i++ {
+		if parent.Int63() == child.Int63() {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("split stream identical to parent")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := New(2)
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	mean := float64(hits) / trials
+	if math.Abs(mean-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) mean = %v", mean)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(3)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{100, 0.01},    // inversion path
+		{4950, 0.0002}, // inversion path, tiny p (EA mutation regime)
+		{10000, 0.3},   // normal-approximation path
+	}
+	for _, tc := range cases {
+		const trials = 4000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < trials; i++ {
+			v := float64(r.Binomial(tc.n, tc.p))
+			if v < 0 || v > float64(tc.n) {
+				t.Fatalf("Binomial(%d, %v) = %v out of range", tc.n, tc.p, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / trials
+		wantMean := float64(tc.n) * tc.p
+		variance := sumSq/trials - mean*mean
+		wantVar := wantMean * (1 - tc.p)
+		// 5 standard errors of tolerance.
+		seMean := math.Sqrt(wantVar / trials)
+		if math.Abs(mean-wantMean) > 5*seMean+1e-9 {
+			t.Errorf("Binomial(%d, %v): mean %v, want %v", tc.n, tc.p, mean, wantMean)
+		}
+		if wantVar > 0.01 && math.Abs(variance-wantVar) > 0.3*wantVar {
+			t.Errorf("Binomial(%d, %v): var %v, want %v", tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(4)
+	if r.Binomial(0, 0.5) != 0 || r.Binomial(10, 0) != 0 {
+		t.Fatal("degenerate binomial not 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("Binomial(10, 1) != 10")
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(5)
+	for _, tc := range []struct{ n, count int }{
+		{10, 0}, {10, 1}, {10, 5}, {10, 10}, {1000, 3}, {1000, 900},
+	} {
+		got := r.SampleDistinct(tc.n, tc.count)
+		if len(got) != tc.count {
+			t.Fatalf("SampleDistinct(%d, %d) returned %d items", tc.n, tc.count, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= tc.n {
+				t.Fatalf("value %d out of range [0, %d)", v, tc.n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinctUniform(t *testing.T) {
+	// Each element should appear with roughly equal frequency.
+	r := New(6)
+	counts := make([]int, 10)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleDistinct(10, 3) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 3 / 10
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 0.07*want {
+			t.Errorf("element %d drawn %d times, want ≈ %.0f", v, c, want)
+		}
+	}
+}
+
+func TestSampleDistinctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).SampleDistinct(3, 4)
+}
+
+func TestExp(t *testing.T) {
+	r := New(7)
+	const trials = 20000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += v
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean = %v, want 0.5", mean)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	r := New(8)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("perm repeated a value")
+		}
+		seen[v] = true
+	}
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 28 {
+		t.Fatal("shuffle lost elements")
+	}
+}

@@ -1,0 +1,233 @@
+// Package msc maintains social connections in wireless networks by placing
+// reliable "shortcut" links, implementing Qiu, Ma & Cao, "Maintaining
+// Social Connections through Direct Link Placement in Wireless Networks"
+// (ICDCS 2019).
+//
+// # The problem
+//
+// A wireless network is an undirected graph whose links fail independently
+// with known probabilities. Among all node pairs, a set S of m important
+// social pairs (commander↔squad leaders, control center↔rescue teams) must
+// stay connected: each pair needs some path whose end-to-end failure
+// probability is at most a threshold p_t. When the raw network cannot
+// provide that, up to k reliable zero-failure links (satellite or UAV
+// links — "shortcut edges") may be added anywhere. The MSC problem asks
+// for the placement of at most k shortcuts maximizing the number of
+// maintained pairs. It is NP-hard, and its objective σ is not submodular.
+//
+// # Quick start
+//
+//	b := msc.NewGraphBuilder(4)
+//	b.AddEdge(0, 1, msc.LengthFromProb(0.3))
+//	b.AddEdge(1, 2, msc.LengthFromProb(0.3))
+//	b.AddEdge(2, 3, msc.LengthFromProb(0.3))
+//	g, _ := b.Build()
+//	ps, _ := msc.NewPairSet(4, []msc.Pair{{U: 0, W: 3}, {U: 1, W: 3}, {U: 0, W: 2}})
+//	inst, _ := msc.NewInstance(g, ps, msc.NewThreshold(0.25), 1, nil)
+//	res := msc.Sandwich(inst)
+//	fmt.Println(res.Best) // placed shortcuts and maintained pairs
+//
+// # Algorithms
+//
+//   - Sandwich (AA): the paper's approximation algorithm — greedy runs on
+//     two submodular bounds μ ≤ σ ≤ ν plus σ itself, best-of-three, with a
+//     data-dependent approximation guarantee (Eq. 5).
+//   - GreedySigma / GreedyMu / GreedyNu: the individual arms.
+//   - SolveCommonNode: the (1−1/e) max-coverage greedy for the MSC-CN
+//     special case where all pairs share a node (§IV).
+//   - EA: the GSEMO-style evolutionary algorithm (Algorithm 1).
+//   - AEA: the adaptive evolutionary algorithm (Algorithm 2).
+//   - RandomPlacement: the best-of-R random baseline.
+//   - Exhaustive: exact optimum by enumeration (small instances).
+//
+// All algorithms accept the Problem interface, so they run unchanged on
+// dynamic networks (a series of topologies sharing one placement, §VI) via
+// NewDynamicProblem.
+//
+// This facade re-exports the library's core types; the heavy lifting lives
+// in the internal packages (see DESIGN.md for the map).
+package msc
+
+import (
+	"msc/internal/core"
+	"msc/internal/dynamic"
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+	"msc/internal/shortestpath"
+	"msc/internal/xrand"
+)
+
+// Core model types.
+type (
+	// Graph is an immutable weighted undirected network; edge lengths are
+	// −ln(1−p_fail). Build with NewGraphBuilder.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges and produces a Graph.
+	GraphBuilder = graph.Builder
+	// Edge is an undirected edge or shortcut, canonical with U < V.
+	Edge = graph.Edge
+	// NodeID identifies a node (dense ids 0..N-1).
+	NodeID = graph.NodeID
+	// Pair is an important social pair.
+	Pair = pairs.Pair
+	// PairSet is a validated set of important social pairs.
+	PairSet = pairs.Set
+	// Threshold is the connectivity requirement in both its probability
+	// (p_t) and distance (d_t) forms.
+	Threshold = failprob.Threshold
+	// DistanceTable is an all-pairs shortest-path table.
+	DistanceTable = shortestpath.Table
+	// Rand is the deterministic randomness source used by the randomized
+	// algorithms and generators.
+	Rand = xrand.Rand
+)
+
+// Problem-and-solver types.
+type (
+	// Instance is a single-topology MSC instance.
+	Instance = core.Instance
+	// InstanceOptions tune instance construction.
+	InstanceOptions = core.Options
+	// Problem abstracts single-topology and dynamic instances.
+	Problem = core.Problem
+	// Search is the incremental σ evaluator used by custom heuristics.
+	Search = core.Search
+	// Placement is a set of shortcut edges with its σ value.
+	Placement = core.Placement
+	// SandwichResult reports the approximation algorithm with its bound.
+	SandwichResult = core.SandwichResult
+	// CommonNodeResult reports the MSC-CN greedy.
+	CommonNodeResult = core.CommonNodeResult
+	// EAOptions tune EA; EAResult reports it.
+	EAOptions = core.EAOptions
+	// EAResult reports an EA run.
+	EAResult = core.EAResult
+	// AEAOptions tune AEA; AEAResult reports it.
+	AEAOptions = core.AEAOptions
+	// AEAResult reports an AEA run.
+	AEAResult = core.AEAResult
+	// DynamicProblem evaluates one placement against a topology series.
+	DynamicProblem = dynamic.Problem
+)
+
+// NewGraphBuilder returns a builder for a network with n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// LengthFromProb converts a link failure probability p ∈ [0, 1) to the
+// edge length −ln(1−p) used by Graph.
+func LengthFromProb(p float64) float64 { return failprob.LengthFromProb(p) }
+
+// ProbFromLength converts a path length back to its failure probability.
+func ProbFromLength(l float64) float64 { return failprob.ProbFromLength(l) }
+
+// NewThreshold builds the connectivity requirement from a failure
+// probability bound p_t ∈ [0, 1).
+func NewThreshold(pt float64) Threshold { return failprob.NewThreshold(pt) }
+
+// NewPairSet validates and builds the important social pairs for an
+// n-node network.
+func NewPairSet(n int, ps []Pair) (*PairSet, error) { return pairs.NewSet(n, ps) }
+
+// NewDistanceTable precomputes all-pairs shortest paths; share it across
+// instances with different thresholds via InstanceOptions.Table.
+func NewDistanceTable(g *Graph) *DistanceTable { return shortestpath.NewTable(g) }
+
+// SampleViolatingPairs randomly picks m pairs whose current best path
+// violates the distance threshold — the paper's evaluation setup
+// (§VII-A3).
+func SampleViolatingPairs(t *DistanceTable, thr Threshold, m int, rng *Rand) (*PairSet, error) {
+	return pairs.SampleViolating(t, thr.D, m, rng)
+}
+
+// NewInstance validates and builds a single-topology MSC instance with
+// shortcut budget k. opts may be nil.
+func NewInstance(g *Graph, ps *PairSet, thr Threshold, k int, opts *InstanceOptions) (*Instance, error) {
+	return core.NewInstance(g, ps, thr, k, opts)
+}
+
+// NewDynamicProblem bundles per-time-instance MSC instances into a dynamic
+// problem (§VI): one placement, objective Σ_i σ_i.
+func NewDynamicProblem(insts []*Instance) (*DynamicProblem, error) {
+	return dynamic.NewProblem(insts)
+}
+
+// NewRand returns a deterministic randomness source for the randomized
+// algorithms; equal seeds reproduce runs exactly.
+func NewRand(seed int64) *Rand { return xrand.New(seed) }
+
+// Sandwich runs the paper's approximation algorithm (AA): best of the
+// greedy placements for μ, σ, and ν, with the data-dependent bound of
+// Eq. (5).
+func Sandwich(p Problem) SandwichResult { return core.Sandwich(p) }
+
+// GreedySigma greedily maximizes σ directly (the F_σ arm).
+func GreedySigma(p Problem) Placement { return core.GreedySigma(p) }
+
+// GreedyMu greedily maximizes the submodular lower bound μ.
+func GreedyMu(p Problem) Placement { return core.GreedyMu(p) }
+
+// GreedyNu greedily maximizes the submodular upper bound ν.
+func GreedyNu(p Problem) Placement { return core.GreedyNu(p) }
+
+// SolveCommonNode runs the (1−1/e)-approximate max-coverage greedy for
+// instances whose pairs all share a common node (MSC-CN, §IV).
+func SolveCommonNode(inst *Instance) (CommonNodeResult, error) {
+	return core.SolveCommonNode(inst)
+}
+
+// EA runs the evolutionary algorithm of §V-C (Algorithm 1).
+func EA(p Problem, opts EAOptions, rng *Rand) EAResult { return core.EA(p, opts, rng) }
+
+// AEA runs the adaptive evolutionary algorithm of §V-D (Algorithm 2).
+func AEA(p Problem, opts AEAOptions, rng *Rand) AEAResult { return core.AEA(p, opts, rng) }
+
+// DefaultAEAOptions mirror the paper's evaluation settings (r=500, l=10,
+// δ=0.05).
+func DefaultAEAOptions() AEAOptions { return core.DefaultAEAOptions() }
+
+// RandomPlacement returns the best of `trials` uniform random placements —
+// the baseline of §VII-C.
+func RandomPlacement(p Problem, trials int, rng *Rand) Placement {
+	return core.RandomPlacement(p, trials, rng)
+}
+
+// Exhaustive computes the exact optimum by enumeration; exponential, for
+// small instances (maxEvals caps the σ evaluations).
+func Exhaustive(p Problem, maxEvals int) (Placement, error) {
+	return core.Exhaustive(p, maxEvals)
+}
+
+// SelectionEdges converts a solver's candidate-index selection to edges.
+func SelectionEdges(p Problem, sel []int) []Edge { return core.SelectionEdges(p, sel) }
+
+// Diagnostics and refinement (library extensions beyond the paper).
+type (
+	// PairStatus is the per-pair diagnostic of a placement.
+	PairStatus = core.PairStatus
+	// PlacementSummary condenses pair statuses into counts.
+	PlacementSummary = core.Summary
+	// LocalSearchOptions tune the swap-refinement pass.
+	LocalSearchOptions = core.LocalSearchOptions
+)
+
+// Report evaluates a placement pair by pair: failure probability before
+// and after, whether the pair is maintained, and whether a shortcut is
+// responsible.
+func Report(inst *Instance, sel []int) []PairStatus { return inst.Report(sel) }
+
+// SummarizeReport aggregates pair statuses into counts.
+func SummarizeReport(statuses []PairStatus) PlacementSummary { return core.Summarize(statuses) }
+
+// FormatReport renders pair statuses as an aligned table, worst first.
+func FormatReport(statuses []PairStatus) string { return core.FormatReport(statuses) }
+
+// GreedySigmaCurve returns σ after each successive greedy shortcut
+// (curve[0] = baseline): the marginal value of every unit of budget.
+func GreedySigmaCurve(p Problem) []int { return core.GreedySigmaCurve(p) }
+
+// LocalSearch refines a placement by best-improvement (drop, add) swaps
+// until a swap-local optimum; it never returns a worse placement.
+func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
+	return core.LocalSearch(p, start, opts)
+}

@@ -1,0 +1,324 @@
+package msc_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"msc"
+)
+
+// buildQuickstartGraph mirrors examples/quickstart: two reliable clusters
+// joined by a lossy chain.
+func buildQuickstartGraph(t *testing.T) *msc.Graph {
+	t.Helper()
+	b := msc.NewGraphBuilder(10)
+	add := func(u, v msc.NodeID, p float64) { b.AddEdge(u, v, msc.LengthFromProb(p)) }
+	add(0, 1, 0.02)
+	add(1, 2, 0.02)
+	add(0, 2, 0.03)
+	for u := msc.NodeID(2); u < 7; u++ {
+		add(u, u+1, 0.15)
+	}
+	add(7, 8, 0.02)
+	add(8, 9, 0.02)
+	add(7, 9, 0.03)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEndToEndPlacementFlow(t *testing.T) {
+	g := buildQuickstartGraph(t)
+	ps, err := msc.NewPairSet(10, []msc.Pair{{U: 0, W: 9}, {U: 1, W: 8}, {U: 2, W: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := msc.NewThreshold(0.25)
+	inst, err := msc.NewInstance(g, ps, thr, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.BaseSigma() != 0 {
+		t.Fatalf("baseline σ = %d, want 0 (chain too lossy)", inst.BaseSigma())
+	}
+	res := msc.Sandwich(inst)
+	if res.Best.Sigma != 3 {
+		t.Fatalf("one shortcut should maintain all 3 pairs, got %d", res.Best.Sigma)
+	}
+	if len(res.Best.Edges) != 1 {
+		t.Fatalf("placed %d edges, want 1", len(res.Best.Edges))
+	}
+	// The guarantee factor is in (0, 1−1/e].
+	if res.ApproxFactor <= 0 || res.ApproxFactor > 1-1/math.E+1e-12 {
+		t.Fatalf("approx factor = %v", res.ApproxFactor)
+	}
+
+	// Validate the delivery promise end-to-end by simulation.
+	nw, err := msc.NewSimNetwork(g, res.Best.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := msc.SimulateDelivery(nw, ps.Pairs(), 20000, msc.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sim {
+		if r.PredictedBestPath < 1-thr.P {
+			t.Fatalf("pair %v predicted %v < 1-p_t", r.Pair, r.PredictedBestPath)
+		}
+		if math.Abs(r.BestPath-r.PredictedBestPath) > 0.02 {
+			t.Fatalf("pair %v: simulated %v vs predicted %v", r.Pair, r.BestPath, r.PredictedBestPath)
+		}
+		if r.AnyPath < r.BestPath {
+			t.Fatalf("pair %v: any-path < best-path", r.Pair)
+		}
+	}
+}
+
+func TestTrivialInstanceRejected(t *testing.T) {
+	g := buildQuickstartGraph(t)
+	ps, err := msc.NewPairSet(10, []msc.Pair{{U: 0, W: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m=1 ≤ k=2: trivial per §III-C.
+	if _, err := msc.NewInstance(g, ps, msc.NewThreshold(0.2), 2, nil); err == nil {
+		t.Fatal("expected trivial-instance rejection")
+	}
+	// Explicitly allowed when opted in.
+	if _, err := msc.NewInstance(g, ps, msc.NewThreshold(0.2), 2,
+		&msc.InstanceOptions{AllowTrivial: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsThroughFacade(t *testing.T) {
+	rng := msc.NewRand(5)
+	g, err := msc.GenerateRGG(msc.RGGConfig{N: 40, Radius: 0.3, FailureAtRadius: 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 40 {
+		t.Fatalf("rgg n = %d", g.N())
+	}
+	net, err := msc.GenerateSocial(msc.DefaultSocialConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Graph.N() != 134 {
+		t.Fatalf("social n = %d", net.Graph.N())
+	}
+	cfg := msc.DefaultMobilityConfig()
+	cfg.Nodes = 20
+	cfg.Steps = 3
+	tr, err := msc.GenerateMobilityTrace(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.T() != 3 || tr.N() != 20 {
+		t.Fatal("trace shape wrong")
+	}
+	snap, err := tr.Snapshot(0, msc.FailureModel{Radius: 900, FailureAtRadius: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.N() != 20 {
+		t.Fatal("snapshot shape wrong")
+	}
+}
+
+func TestDynamicThroughFacade(t *testing.T) {
+	rng := msc.NewRand(6)
+	cfg := msc.DefaultMobilityConfig()
+	cfg.Nodes = 21
+	cfg.Groups = 3
+	cfg.Steps = 3
+	tr, err := msc.GenerateMobilityTrace(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := msc.NewThreshold(0.12)
+	fm := msc.FailureModel{Radius: 700, FailureAtRadius: 0.25}
+	var insts []*msc.Instance
+	for i := 0; i < tr.T(); i++ {
+		g, err := tr.Snapshot(i, fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table := msc.NewDistanceTable(g)
+		ps, err := msc.SampleViolatingPairs(table, thr, 5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := msc.NewInstance(g, ps, thr, 2, &msc.InstanceOptions{Table: table})
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	prob, err := msc.NewDynamicProblem(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := msc.Sandwich(prob)
+	if res.Best.Sigma < 0 || res.Best.Sigma > prob.MaxSigma() {
+		t.Fatalf("dynamic σ = %d out of range", res.Best.Sigma)
+	}
+	aea := msc.AEA(prob, msc.AEAOptions{Iterations: 40, PopSize: 4, Delta: 0.1}, rng)
+	if len(aea.Best.Edges) != 2 {
+		t.Fatal("AEA budget mismatch")
+	}
+}
+
+func TestInstanceJSONRoundTripThroughFacade(t *testing.T) {
+	g := buildQuickstartGraph(t)
+	ps, err := msc.NewPairSet(10, []msc.Pair{{U: 0, W: 9}, {U: 1, W: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := msc.WriteInstanceJSON(&buf, g, ps, 0.25, 1); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := msc.ReadInstanceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := doc.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() || doc.Budget != 1 || doc.FailureThreshold != 0.25 {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestSceneRendering(t *testing.T) {
+	rng := msc.NewRand(7)
+	g, err := msc.GenerateRGG(msc.RGGConfig{N: 30, Radius: 0.35, FailureAtRadius: 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := msc.NewDistanceTable(g)
+	ps, err := msc.SampleViolatingPairs(table, msc.NewThreshold(0.1), 4, rng)
+	if err != nil {
+		t.Skip("no violating pairs on this draw")
+	}
+	sc := msc.Scene{Graph: g, Pairs: ps, Shortcuts: []msc.Edge{{U: 0, V: 5}}, Title: "facade"}
+	var svg bytes.Buffer
+	if err := msc.WriteSceneSVG(&svg, sc, msc.SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Fatal("not an SVG")
+	}
+	var ascii bytes.Buffer
+	if err := msc.WriteSceneASCII(&ascii, sc); err != nil {
+		t.Fatal(err)
+	}
+	if ascii.Len() == 0 {
+		t.Fatal("empty ASCII render")
+	}
+}
+
+func TestCommonNodeThroughFacade(t *testing.T) {
+	g := buildQuickstartGraph(t)
+	ps, err := msc.NewPairSet(10, []msc.Pair{{U: 0, W: 9}, {U: 0, W: 7}, {U: 0, W: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := msc.NewInstance(g, ps, msc.NewThreshold(0.25), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := msc.SolveCommonNode(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Common != 0 {
+		t.Fatalf("common node = %d", res.Common)
+	}
+	if res.Placement.Sigma < 1 {
+		t.Fatal("common-node greedy maintained nothing")
+	}
+	for _, e := range res.Placement.Edges {
+		if e.U != 0 && e.V != 0 {
+			t.Fatalf("shortcut %v not incident to the common node", e)
+		}
+	}
+}
+
+func TestExhaustiveThroughFacade(t *testing.T) {
+	g := buildQuickstartGraph(t)
+	ps, err := msc.NewPairSet(10, []msc.Pair{{U: 0, W: 9}, {U: 1, W: 8}, {U: 2, W: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := msc.NewInstance(g, ps, msc.NewThreshold(0.25), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := msc.Exhaustive(inst, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa := msc.Sandwich(inst)
+	if aa.Best.Sigma > opt.Sigma {
+		t.Fatalf("AA %d beats 'optimal' %d", aa.Best.Sigma, opt.Sigma)
+	}
+	if float64(aa.Best.Sigma) < aa.ApproxFactor*float64(opt.Sigma)-1e-9 {
+		t.Fatal("sandwich bound violated")
+	}
+}
+
+func TestDiagnosticsThroughFacade(t *testing.T) {
+	g := buildQuickstartGraph(t)
+	ps, err := msc.NewPairSet(10, []msc.Pair{{U: 0, W: 9}, {U: 1, W: 8}, {U: 2, W: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := msc.NewInstance(g, ps, msc.NewThreshold(0.25), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := msc.GreedySigma(inst)
+	statuses := msc.Report(inst, pl.Selection)
+	sum := msc.SummarizeReport(statuses)
+	if sum.Maintained != pl.Sigma {
+		t.Fatalf("summary maintained %d != σ %d", sum.Maintained, pl.Sigma)
+	}
+	if out := msc.FormatReport(statuses); !strings.Contains(out, "p_after") {
+		t.Fatal("report format missing columns")
+	}
+	curve := msc.GreedySigmaCurve(inst)
+	if curve[len(curve)-1] != pl.Sigma {
+		t.Fatalf("curve end %d != greedy σ %d", curve[len(curve)-1], pl.Sigma)
+	}
+	refined := msc.LocalSearch(inst, pl.Selection, msc.LocalSearchOptions{})
+	if refined.Sigma < pl.Sigma {
+		t.Fatal("local search worsened the placement")
+	}
+}
+
+func TestDeliverySimThroughFacade(t *testing.T) {
+	g := buildQuickstartGraph(t)
+	flows := msc.PeriodicFlows([]msc.Pair{{U: 0, W: 9}}, 1)
+	res, err := msc.RunDeliverySim(msc.DeliverySimConfig{
+		Topology:        msc.StaticTopology{G: g},
+		Shortcuts:       []msc.Edge{{U: 0, V: 9}},
+		Flows:           flows,
+		DurationSeconds: 100,
+		HopSeconds:      0.01,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio != 1 {
+		t.Fatalf("direct shortcut delivery = %v", res.DeliveryRatio)
+	}
+}
