@@ -12,7 +12,9 @@
 package msc_test
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"msc"
@@ -269,6 +271,57 @@ func BenchmarkAEASeedGreedy(b *testing.B) {
 					Iterations: 200, PopSize: 10, Delta: 0.05, SeedGreedy: seedGreedy,
 				}, msc.NewRand(17))
 				sigma = res.Best.Sigma
+			}
+			b.ReportMetric(float64(sigma), "sigma")
+		})
+	}
+}
+
+// BenchmarkGreedySigmaParallel measures the parallel candidate-scan engine
+// on a 200-node RGG (19900 candidate shortcuts, 150 pairs): GreedySigma at
+// Parallelism(1) — the exact serial code path — versus GOMAXPROCS workers.
+// Placements are identical at every worker count (the engine's determinism
+// contract); only wall-clock time differs. Compare the two sub-benchmarks'
+// ns/op for the speedup; on a single-core host they coincide.
+func BenchmarkGreedySigmaParallel(b *testing.B) {
+	rng := msc.NewRand(99)
+	g, err := msc.GenerateRGG(msc.RGGConfig{
+		N: 200, Radius: 0.13, FailureAtRadius: 0.08, RequireConnected: true,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table := msc.NewDistanceTable(g)
+	thr := msc.NewThreshold(0.14)
+	ps, err := msc.SampleViolatingPairs(table, thr, 150, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := msc.NewInstance(g, ps, thr, 8, &msc.InstanceOptions{
+		AllowTrivial: true, Table: table,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	legs := []struct {
+		name    string
+		workers int
+	}{
+		{"par1_serial", 1},
+		{fmt.Sprintf("par%d_gomaxprocs", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+		// The forced leg measures sharding overhead when the host has
+		// fewer cores than workers (pure cost, no speedup available).
+		{"par8_forced", 8},
+	}
+	for _, leg := range legs {
+		if leg.workers == 1 && leg.name != "par1_serial" {
+			continue // GOMAXPROCS = 1: the gomaxprocs leg duplicates serial
+		}
+		workers := leg.workers
+		b.Run(leg.name, func(b *testing.B) {
+			var sigma int
+			for i := 0; i < b.N; i++ {
+				sigma = msc.GreedySigma(inst, msc.Parallelism(workers)).Sigma
 			}
 			b.ReportMetric(float64(sigma), "sigma")
 		})

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"msc/internal/core"
 	"msc/internal/experiments"
 	"msc/internal/viz"
 )
@@ -36,8 +37,10 @@ func run() error {
 		quick = flag.Bool("quick", false, "reduced-scale smoke run")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		svg   = flag.String("svg", "", "directory to write fig1 SVG renderings into")
+		par   = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (results are identical either way)")
 	)
 	flag.Parse()
+	core.SetDefaultParallelism(*par)
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	ids := strings.Split(*exp, ",")

@@ -50,8 +50,10 @@ func run() error {
 		outP   = flag.String("out", "", "also write the result as JSON to this path")
 		report = flag.Bool("report", false, "print a per-pair diagnostic table")
 		refine = flag.Bool("refine", false, "apply local-search swap refinement to the placement")
+		par    = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (placements are identical either way)")
 	)
 	flag.Parse()
+	msc.SetDefaultParallelism(*par)
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}

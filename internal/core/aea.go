@@ -22,6 +22,11 @@ type AEAOptions struct {
 	// a worse placement than the F_σ arm of the sandwich algorithm, at
 	// the cost of one greedy run before the evolutionary loop.
 	SeedGreedy bool
+	// Parallelism shards the swap scans (drop re-evaluations and the
+	// candidate-addition grid) across workers; 1 forces the serial path,
+	// <= 0 resolves via ResolveParallelism. The run is identical for every
+	// worker count: the rng draws only on fully reduced scan results.
+	Parallelism int
 }
 
 // DefaultAEAOptions mirror the paper's evaluation settings (§VII-D).
@@ -63,6 +68,7 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 	if opts.PopSize < 1 {
 		opts.PopSize = 1
 	}
+	workers := ResolveParallelism(opts.Parallelism)
 	numCand := p.NumCandidates()
 	k := p.K()
 	if k > numCand {
@@ -71,9 +77,9 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 
 	seed := rng.SampleDistinct(numCand, k)
 	if opts.SeedGreedy {
-		seed = greedySeed(p, k, numCand, rng)
+		seed = greedySeed(p, k, numCand, rng, workers)
 	}
-	pop := []aeaSol{{sel: seed, sigma: p.Sigma(seed)}}
+	pop := []aeaSol{{sel: seed, sigma: SigmaOf(p, seed, workers)}}
 	best := pop[0]
 	res := AEAResult{}
 	if opts.RecordTrace {
@@ -82,7 +88,7 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 
 	for iter := 0; iter < opts.Iterations; iter++ {
 		parent := pop[rng.Intn(len(pop))]
-		child := deriveChild(p, parent, opts.Delta, rng)
+		child := deriveChild(p, parent, opts.Delta, rng, workers)
 		if child.sigma > best.sigma {
 			best = child
 		}
@@ -97,8 +103,8 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 
 // greedySeed starts from the greedy-σ placement and tops it up to k with
 // random extras so the swap moves operate on a full budget.
-func greedySeed(p Problem, k, numCand int, rng *xrand.Rand) []int {
-	seed := GreedySigma(p).Selection
+func greedySeed(p Problem, k, numCand int, rng *xrand.Rand, workers int) []int {
+	seed := GreedySigma(p, Parallelism(workers)).Selection
 	for len(seed) < k {
 		c := rng.Intn(numCand)
 		dup := false
@@ -116,12 +122,16 @@ func greedySeed(p Problem, k, numCand int, rng *xrand.Rand) []int {
 }
 
 // deriveChild produces a new feasible solution from parent via one swap.
-func deriveChild(p Problem, parent aeaSol, delta float64, rng *xrand.Rand) aeaSol {
+// The greedy swap's drop and add scans shard across the given workers; the
+// rng consumes draws only from fully reduced scan results, so the child is
+// identical for every worker count.
+func deriveChild(p Problem, parent aeaSol, delta float64, rng *xrand.Rand, workers int) aeaSol {
 	numCand := p.NumCandidates()
 	if rng.Float64() <= 1-delta {
 		// Greedy swap on an incremental search state, argmax ties broken
 		// uniformly at random.
 		s := p.NewSearch(parent.sel)
+		setSearchWorkers(s, workers)
 		if s.Len() > 0 {
 			s.RemoveAt(randomBestDrop(s, rng))
 		}
@@ -140,16 +150,18 @@ func deriveChild(p Problem, parent aeaSol, delta float64, rng *xrand.Rand) aeaSo
 		child = child[:len(child)-1]
 	}
 	child = append(child, randomAbsentSel(child, numCand, rng))
-	return aeaSol{sel: child, sigma: p.Sigma(child)}
+	return aeaSol{sel: child, sigma: SigmaOf(p, child, workers)}
 }
 
 // randomBestDrop returns a uniformly random position among those whose
-// removal leaves the maximal σ.
+// removal leaves the maximal σ. The per-position σ values come from one
+// (possibly sharded) SigmaDrops pass; tie collection and the rng draw stay
+// serial, so the choice matches the serial scan draw for draw.
 func randomBestDrop(s Search, rng *xrand.Rand) int {
+	drops := sigmaDrops(s, nil)
 	bestSigma := -1
 	var ties []int
-	for pos := 0; pos < s.Len(); pos++ {
-		sig := s.SigmaDrop(pos)
+	for pos, sig := range drops {
 		switch {
 		case sig > bestSigma:
 			bestSigma = sig

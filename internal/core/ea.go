@@ -25,6 +25,11 @@ type EAOptions struct {
 	Iterations int
 	// RecordTrace enables per-iteration best-σ recording.
 	RecordTrace bool
+	// Parallelism shards the per-offspring σ evaluation (the per-pair
+	// distance checks of the overlay oracle) across workers; 1 forces the
+	// serial path, <= 0 resolves via ResolveParallelism. Results are
+	// identical for every worker count.
+	Parallelism int
 }
 
 // eaSol is one archive member: a solution with cached objective values.
@@ -46,8 +51,9 @@ type eaSol struct {
 // measuring how far σ is from submodular.
 func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 	numCand := p.NumCandidates()
+	workers := ResolveParallelism(opts.Parallelism)
 	res := EAResult{}
-	pop := []eaSol{{sel: nil, sigma: p.Sigma(nil)}}
+	pop := []eaSol{{sel: nil, sigma: SigmaOf(p, nil, workers)}}
 	res.Evaluations++
 	bestFeasible := eaSol{sel: nil, sigma: pop[0].sigma}
 	if opts.RecordTrace {
@@ -58,7 +64,7 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 	for iter := 0; iter < opts.Iterations; iter++ {
 		parent := pop[rng.Intn(len(pop))]
 		child := mutate(parent.sel, numCand, flipProb, rng)
-		childSigma := p.Sigma(child)
+		childSigma := SigmaOf(p, child, workers)
 		res.Evaluations++
 		insertPareto(&pop, eaSol{sel: child, sigma: childSigma})
 		if len(child) <= p.K() && betterFeasible(childSigma, child, bestFeasible) {

@@ -16,7 +16,16 @@ var ErrTooLarge = errors.New("core: exhaustive search space too large")
 //
 // Because σ is monotone in F, it suffices to enumerate selections of size
 // exactly min(k, N).
-func Exhaustive(p Problem, maxEvals int) (Placement, error) {
+//
+// With Parallelism > 1 the enumeration is residue-strided: every worker
+// walks the (cheap) lexicographic combination sequence but evaluates only
+// combinations whose enumeration index falls in its residue class,
+// tracking its local best with the lowest enumeration index on ties. The
+// per-worker bests reduce serially — highest σ, ties toward the lowest
+// enumeration index — which is exactly the combination the serial
+// first-strictly-better loop keeps.
+func Exhaustive(p Problem, maxEvals int, opts ...Option) (Placement, error) {
+	workers := resolveOptions(opts)
 	numCand := p.NumCandidates()
 	k := p.K()
 	if k > numCand {
@@ -26,25 +35,58 @@ func Exhaustive(p Problem, maxEvals int) (Placement, error) {
 	if total < 0 || total > float64(maxEvals) {
 		return Placement{}, ErrTooLarge
 	}
-	sel := make([]int, k)
-	for i := range sel {
-		sel[i] = i
-	}
-	var bestSel []int
-	bestSigma := -1
-	for {
-		if sigma := p.Sigma(sel); sigma > bestSigma {
-			bestSigma = sigma
-			bestSel = append([]int(nil), sel...)
+	if workers <= 1 || k == 0 {
+		sel := make([]int, k)
+		for i := range sel {
+			sel[i] = i
 		}
-		if !nextCombination(sel, numCand) {
-			break
+		var bestSel []int
+		bestSigma := -1
+		for {
+			if sigma := p.Sigma(sel); sigma > bestSigma {
+				bestSigma = sigma
+				bestSel = append([]int(nil), sel...)
+			}
+			if !nextCombination(sel, numCand) {
+				break
+			}
+		}
+		if bestSel == nil { // k == 0
+			bestSel = []int{}
+		}
+		return newPlacement(p, bestSel), nil
+	}
+	type exhBest struct {
+		sel   []int
+		sigma int
+		index int
+	}
+	bests := make([]exhBest, workers)
+	ParallelFor(workers, workers, func(shard, _, _ int) {
+		sel := make([]int, k)
+		for i := range sel {
+			sel[i] = i
+		}
+		best := exhBest{sigma: -1, index: -1}
+		for index := 0; ; index++ {
+			if index%workers == shard {
+				if sigma := p.Sigma(sel); sigma > best.sigma {
+					best = exhBest{sel: append([]int(nil), sel...), sigma: sigma, index: index}
+				}
+			}
+			if !nextCombination(sel, numCand) {
+				break
+			}
+		}
+		bests[shard] = best
+	})
+	winner := bests[0]
+	for _, b := range bests[1:] {
+		if b.sigma > winner.sigma || (b.sigma == winner.sigma && b.index < winner.index) {
+			winner = b
 		}
 	}
-	if bestSel == nil { // k == 0
-		bestSel = []int{}
-	}
-	return newPlacement(p, bestSel), nil
+	return newPlacement(p, winner.sel), nil
 }
 
 // nextCombination advances sel to the next k-combination of [0, n) in

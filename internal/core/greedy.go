@@ -10,8 +10,13 @@ import "msc/internal/maxcover"
 //
 // Rounds with zero marginal gain stop the search: under a zero gain every
 // candidate is an argmax, and adding one cannot be justified by σ alone.
-func GreedySigma(p Problem) Placement {
+//
+// The per-round candidate scan shards across Parallelism(n) workers (see
+// parallel.go); the placement is identical for every worker count.
+func GreedySigma(p Problem, opts ...Option) Placement {
+	workers := resolveOptions(opts)
 	s := p.NewSearch(nil)
+	setSearchWorkers(s, workers)
 	for s.Len() < p.K() {
 		cand, gain := s.BestAdd()
 		if gain <= 0 {

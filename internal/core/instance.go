@@ -41,6 +41,12 @@ import (
 // Problem abstracts an MSC instance (single-topology or dynamic) for the
 // placement algorithms. Candidates are the N = n(n−1)/2 unordered node
 // pairs, identified by dense indices.
+//
+// Implementations must keep Sigma, Mu, Nu, and NewSearch safe for
+// concurrent calls with distinct arguments: the parallel solvers evaluate
+// disjoint selections from multiple goroutines (see parallel.go). Lazily
+// built state must be guarded (Instance uses sync.Once for its bound
+// coverage sets and σ query buffers).
 type Problem interface {
 	// N returns the number of nodes.
 	N() int
@@ -71,8 +77,12 @@ type Problem interface {
 }
 
 // Search incrementally evaluates σ around a current selection; it is the
-// workhorse of GreedySigma and AEA. Implementations are not safe for
-// concurrent use.
+// workhorse of GreedySigma and AEA. A Search belongs to one goroutine:
+// callers must never invoke its methods concurrently. Implementations may
+// additionally satisfy ParallelSearch, in which case their scans shard
+// across internal worker goroutines after SetWorkers — with results
+// guaranteed identical to the serial scan (see parallel.go for the
+// determinism contract).
 type Search interface {
 	// Sigma returns σ of the current selection.
 	Sigma() int
@@ -130,13 +140,22 @@ type Instance struct {
 	totalWeight int
 	baseSigma   int
 
-	// Lazily-built coverage structures for μ and ν.
+	// Lazily-built coverage structures for μ and ν. boundsOnce guards the
+	// build: parallel scans may race to the first Mu/Nu call, and a bare
+	// nil-check would let two goroutines build (and publish) the sets
+	// concurrently.
 	boundsOnce sync.Once
 	muSets     []*bitset.Set // per candidate: pairs satisfied using only that shortcut
 	nuSets     []*bitset.Set // per candidate: pair-node indices covered
 	nuWeights  []float64     // per pair-node index: ½ × multiplicity
 	nuNodes    []graph.NodeID
 	nuIndex    map[graph.NodeID]int
+
+	// Lazily-built flat query arrays for the sharded σ oracle, guarded for
+	// the same reason as boundsOnce.
+	queryOnce sync.Once
+	queryU    []graph.NodeID
+	queryW    []graph.NodeID
 }
 
 // Errors returned by NewInstance.
@@ -389,4 +408,26 @@ func (inst *Instance) Sigma(sel []int) int {
 // SigmaEdges is Sigma for an explicit edge set.
 func (inst *Instance) SigmaEdges(es []graph.Edge) int {
 	return inst.Sigma(EdgeSelection(inst, es))
+}
+
+// SigmaPar is Sigma with the per-pair distance checks sharded across
+// workers through the shortestpath.Evaluator. The overlay is built once
+// and read-only afterward, and per-shard weights sum exactly, so
+// SigmaPar(sel, w) == Sigma(sel) for every worker count.
+func (inst *Instance) SigmaPar(sel []int, workers int) int {
+	if workers <= 1 || len(sel) == 0 {
+		return inst.Sigma(sel)
+	}
+	inst.queryOnce.Do(func() {
+		ps := inst.ps.Pairs()
+		inst.queryU = make([]graph.NodeID, len(ps))
+		inst.queryW = make([]graph.NodeID, len(ps))
+		for i, p := range ps {
+			inst.queryU[i] = p.U
+			inst.queryW[i] = p.W
+		}
+	})
+	ov := shortestpath.NewOverlay(inst.table, SelectionEdges(inst, sel))
+	ev := shortestpath.NewEvaluator(ov, workers)
+	return ev.CountWithin(inst.queryU, inst.queryW, inst.weights, inst.thr.D)
 }

@@ -4,6 +4,11 @@ package core
 type LocalSearchOptions struct {
 	// MaxIters bounds the number of improving swaps (default 100).
 	MaxIters int
+	// Parallelism shards the drop×add neighborhood scan across workers via
+	// ParBestSwap; 1 forces the serial path, <= 0 resolves via
+	// ResolveParallelism. The refinement is identical for every worker
+	// count.
+	Parallelism int
 }
 
 // LocalSearch refines a placement by best-improvement swaps: repeatedly
@@ -20,24 +25,14 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 	if maxIters <= 0 {
 		maxIters = 100
 	}
+	workers := ResolveParallelism(opts.Parallelism)
 	cur := append([]int(nil), start...)
 	s := p.NewSearch(cur)
 	for iter := 0; iter < maxIters; iter++ {
-		bestSigma := s.Sigma()
-		bestDrop, bestAdd := -1, -1
-		for pos := 0; pos < len(cur); pos++ {
-			// Evaluate the neighborhood of dropping position pos: build a
-			// search without it, scan the best addition.
-			rest := make([]int, 0, len(cur)-1)
-			rest = append(rest, cur[:pos]...)
-			rest = append(rest, cur[pos+1:]...)
-			sub := p.NewSearch(rest)
-			cand, gain := sub.BestAdd()
-			if sigma := sub.Sigma() + gain; sigma > bestSigma {
-				bestSigma = sigma
-				bestDrop, bestAdd = pos, cand
-			}
-		}
+		// Evaluate the full (drop, add) neighborhood: for each drop
+		// position, a private search without it scans the best addition;
+		// positions shard across workers (see ParBestSwap).
+		bestDrop, bestAdd, _ := ParBestSwap(p, cur, s.Sigma(), workers)
 		if bestDrop < 0 {
 			break // swap-local optimum
 		}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the shared parallel candidate-scan engine. Every placement
+// algorithm bottoms out in a scan over the N = n(n−1)/2 candidate shortcuts
+// (GreedySigma and AEA through Search.GainsAdd, LocalSearch through its
+// drop×add neighborhood, RandomPlacement and Exhaustive through repeated σ
+// evaluations); the engine shards those scans across workers while keeping
+// the results byte-identical to the serial code path.
+//
+// Determinism contract: for every worker count, each scan produces exactly
+// the values the serial scan produces. Shards are contiguous index blocks
+// writing to disjoint output ranges (no shared mutable state, no atomics on
+// the hot path), integer reductions are exact, and per-shard argmax results
+// are reduced in shard order with ties broken toward the lowest candidate
+// index — the same tie-break the serial scans use. Parallel and serial runs
+// therefore return identical placements; the equivalence suite in
+// parallel_test.go locks the contract in under the race detector.
+
+var _ ParallelSigma = (*Instance)(nil)
+
+// Option configures a solver entry point (GreedySigma, Sandwich,
+// RandomPlacement, Exhaustive, LocalSearch via its options struct). EA and
+// AEA carry the equivalent Parallelism field on their options structs.
+type Option func(*solveConfig)
+
+type solveConfig struct {
+	workers int
+}
+
+// Parallelism fixes the number of candidate-scan workers a solver may use.
+// n = 1 restores the fully serial code path; n <= 0 (and omitting the
+// option) selects the package default — runtime.GOMAXPROCS(0) unless
+// overridden with SetDefaultParallelism.
+func Parallelism(n int) Option {
+	return func(c *solveConfig) { c.workers = n }
+}
+
+// defaultParallelism holds the package-wide default worker count; 0 means
+// runtime.GOMAXPROCS(0). Stored atomically so command-line entry points can
+// set it once at startup while solvers read it freely.
+var defaultParallelism atomic.Int64
+
+// SetDefaultParallelism sets the worker count used by solvers that receive
+// no explicit Parallelism option. n <= 0 restores the GOMAXPROCS default.
+func SetDefaultParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultParallelism.Store(int64(n))
+}
+
+// ResolveParallelism normalizes a Parallelism value: n >= 1 is returned
+// unchanged; n <= 0 resolves to the package default set by
+// SetDefaultParallelism, else runtime.GOMAXPROCS(0).
+func ResolveParallelism(n int) int {
+	if n >= 1 {
+		return n
+	}
+	if d := int(defaultParallelism.Load()); d >= 1 {
+		return d
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func resolveOptions(opts []Option) int {
+	var c solveConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return ResolveParallelism(c.workers)
+}
+
+// ParallelSearch extends Search with sharded candidate scans. A Search
+// remains single-caller (no concurrent method calls); SetWorkers only
+// allows the implementation to fan each scan out internally, using
+// goroutine-private scratch so results stay identical to a serial scan.
+type ParallelSearch interface {
+	Search
+	// SetWorkers fixes the shard count for subsequent scans (GainsAdd,
+	// BestAdd, SigmaDrops, BestDrop). 1 means fully serial; n <= 0 resolves
+	// via ResolveParallelism.
+	SetWorkers(n int)
+	// SigmaDrops returns σ(S \ {S[pos]}) for every selection position in
+	// one sharded pass. Like GainsAdd, the slice is scratch owned by the
+	// Search: valid until the next call, not to be retained or modified.
+	SigmaDrops() []int
+}
+
+// setSearchWorkers applies a worker count when the search supports sharded
+// scans; other implementations keep their serial behavior.
+func setSearchWorkers(s Search, workers int) {
+	if ps, ok := s.(ParallelSearch); ok {
+		ps.SetWorkers(workers)
+	}
+}
+
+// sigmaDrops returns σ(S \ {S[pos]}) for every position, using the sharded
+// scan when available and a serial loop otherwise. buf is an optional
+// scratch slice for the serial fallback.
+func sigmaDrops(s Search, buf []int) []int {
+	if ps, ok := s.(ParallelSearch); ok {
+		return ps.SigmaDrops()
+	}
+	if cap(buf) < s.Len() {
+		buf = make([]int, s.Len())
+	}
+	buf = buf[:s.Len()]
+	for pos := range buf {
+		buf[pos] = s.SigmaDrop(pos)
+	}
+	return buf
+}
+
+// ParallelSigma is implemented by problems whose σ oracle can shard its
+// per-pair distance checks across workers. SigmaPar(sel, w) must equal
+// Sigma(sel) for every worker count.
+type ParallelSigma interface {
+	SigmaPar(sel []int, workers int) int
+}
+
+// SigmaOf evaluates p.Sigma(sel) with the given parallelism when the
+// problem supports it, falling back to the serial oracle otherwise.
+func SigmaOf(p Problem, sel []int, workers int) int {
+	if workers > 1 {
+		if ps, ok := p.(ParallelSigma); ok {
+			return ps.SigmaPar(sel, workers)
+		}
+	}
+	return p.Sigma(sel)
+}
+
+// ParallelFor splits [0, n) into at most `workers` contiguous shards of
+// near-equal size and runs fn(shard, lo, hi) on one goroutine per shard,
+// returning when all complete. fn must confine its writes to
+// shard-indexed or [lo, hi)-indexed state. With workers <= 1 (or n <= 1)
+// fn runs inline on the caller's goroutine.
+func ParallelFor(workers, n int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParBestAdd returns the candidate with the largest σ gain (ties toward
+// the lowest candidate index), computing the gains with the given
+// parallelism when the search supports sharded scans. It is the parallel
+// form of Search.BestAdd and returns identical results for every worker
+// count.
+func ParBestAdd(s Search, workers int) (cand, gain int) {
+	setSearchWorkers(s, workers)
+	return s.BestAdd()
+}
+
+// ParBestDrop returns the selection position whose removal leaves the
+// largest σ (ties toward the lowest position), sharding the per-position
+// evaluations when the search supports it. It is the parallel form of
+// Search.BestDrop.
+func ParBestDrop(s Search, workers int) (pos, sigma int) {
+	setSearchWorkers(s, workers)
+	return s.BestDrop()
+}
+
+// ParBestSwap scans the full (drop, add) swap neighborhood of sel: for
+// each drop position it builds a private Search on the remaining selection
+// and scans the best addition. Drop positions shard across workers — each
+// worker owns its cloned Search and scratch distance buffers, so no state
+// is shared — and the per-shard bests reduce deterministically: highest σ
+// first, ties toward the lowest drop position, exactly as the serial scan
+// resolves them. It returns drop = -1 when no swap yields σ > curSigma.
+func ParBestSwap(p Problem, sel []int, curSigma, workers int) (drop, add, sigma int) {
+	if len(sel) == 0 {
+		return -1, -1, curSigma
+	}
+	// Workers beyond the position count flow into each position's own
+	// candidate scan instead of going idle.
+	inner := workers / len(sel)
+	if inner < 1 {
+		inner = 1
+	}
+	type swapBest struct {
+		drop, add, sigma int
+	}
+	shards := workers
+	if shards > len(sel) {
+		shards = len(sel)
+	}
+	bests := make([]swapBest, shards)
+	ParallelFor(workers, len(sel), func(shard, lo, hi int) {
+		best := swapBest{drop: -1, add: -1, sigma: curSigma}
+		rest := make([]int, 0, len(sel)-1)
+		for pos := lo; pos < hi; pos++ {
+			rest = append(rest[:0], sel[:pos]...)
+			rest = append(rest, sel[pos+1:]...)
+			sub := p.NewSearch(rest)
+			setSearchWorkers(sub, inner)
+			cand, gain := sub.BestAdd()
+			if sigma := sub.Sigma() + gain; sigma > best.sigma {
+				best = swapBest{drop: pos, add: cand, sigma: sigma}
+			}
+		}
+		bests[shard] = best
+	})
+	out := swapBest{drop: -1, add: -1, sigma: curSigma}
+	for _, b := range bests[:shards] {
+		if b.sigma > out.sigma {
+			out = b
+		}
+	}
+	return out.drop, out.add, out.sigma
+}
+
+// triRowBounds splits the rows of the upper-triangular candidate grid over
+// t nodes (row ai holds the t−1−ai cells with first endpoint ai) into at
+// most `workers` contiguous row ranges of roughly equal cell count.
+// bounds[w]..bounds[w+1] is shard w's row range; empty ranges are allowed.
+func triRowBounds(t, workers int) []int {
+	rows := t - 1
+	if rows < 1 {
+		rows = 1
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	total := t * (t - 1) / 2
+	bounds := make([]int, workers+1)
+	for w := 1; w < workers; w++ {
+		target := total * w / workers
+		ai := bounds[w-1]
+		for ai < rows && rowStart(t, ai) < target {
+			ai++
+		}
+		bounds[w] = ai
+	}
+	bounds[workers] = rows
+	return bounds
+}

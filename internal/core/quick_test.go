@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"msc/internal/xrand"
+)
+
+// Property-based tests over randomized selections, in the style of
+// internal/maxcover and internal/bitset: testing/quick drives the
+// generators, each property gets a shared pool of seeded instances so a
+// reported counterexample (the quick seed values) reproduces exactly.
+
+// quickInstances builds a small pool of random-geometric instances of
+// varying size for the quick properties to draw from.
+func quickInstances(t *testing.T) []*Instance {
+	t.Helper()
+	insts := make([]*Instance, 0, 6)
+	for i := int64(0); i < 6; i++ {
+		rng := xrand.New(9000 + i)
+		insts = append(insts, testInstance(t, 10+int(i), 5, 3, 0.8, rng))
+	}
+	return insts
+}
+
+// pickSelection derives a duplicate-free selection from quick's raw
+// values: instance from pick, size from size, members from a seed-derived
+// sample.
+func pickSelection(insts []*Instance, pick, size uint8, seed int64) (*Instance, []int) {
+	inst := insts[int(pick)%len(insts)]
+	n := int(size) % 5 // 0..4 shortcuts
+	if n == 0 {
+		return inst, nil
+	}
+	return inst, xrand.New(seed).SampleDistinct(inst.NumCandidates(), n)
+}
+
+// Property: σ is monotone under adding shortcuts — any superset of a
+// selection maintains at least as many pairs (shortcuts only shorten
+// paths).
+func TestQuickSigmaMonotone(t *testing.T) {
+	insts := quickInstances(t)
+	property := func(pick, size uint8, seed int64, extra uint16) bool {
+		inst, sel := pickSelection(insts, pick, size, seed)
+		add := int(extra) % inst.NumCandidates()
+		bigger := append(append([]int(nil), sel...), add)
+		return inst.Sigma(bigger) >= inst.Sigma(sel)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sandwich bounds hold for every selection — μ(F) ≤ σ(F) ≤
+// ν(F) (Lemma 2 of the paper: μ counts pairs a single shortcut maintains
+// on its own, ν counts pairs some shortcut helps maintain).
+func TestQuickSandwichBounds(t *testing.T) {
+	insts := quickInstances(t)
+	const eps = 1e-9
+	property := func(pick, size uint8, seed int64) bool {
+		inst, sel := pickSelection(insts, pick, size, seed)
+		sigma := float64(inst.Sigma(sel))
+		return inst.Mu(sel) <= sigma+eps && sigma <= inst.Nu(sel)+eps
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: σ is invariant under permuting the selection's candidate
+// indices — a selection is a set, so any reordering (and the sharded
+// parallel oracle) must agree with the serial evaluation.
+func TestQuickSigmaPermutationInvariant(t *testing.T) {
+	insts := quickInstances(t)
+	property := func(pick, size uint8, seed, permSeed int64, workers uint8) bool {
+		inst, sel := pickSelection(insts, pick, size, seed)
+		want := inst.Sigma(sel)
+		perm := append([]int(nil), sel...)
+		xrand.New(permSeed).Shuffle(len(perm), func(i, j int) {
+			perm[i], perm[j] = perm[j], perm[i]
+		})
+		if inst.Sigma(perm) != want {
+			return false
+		}
+		return inst.SigmaPar(perm, 1+int(workers)%8) == want
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the incremental search agrees with the from-scratch oracle on
+// any add sequence — after seeding a Search with a selection, Sigma()
+// matches Sigma(sel) and each GainsAdd entry matches the σ delta of the
+// corresponding candidate.
+func TestQuickSearchAgreesWithOracle(t *testing.T) {
+	insts := quickInstances(t)
+	property := func(pick, size uint8, seed int64, probe uint16) bool {
+		inst, sel := pickSelection(insts, pick, size, seed)
+		s := inst.NewSearch(sel)
+		if s.Sigma() != inst.Sigma(sel) {
+			return false
+		}
+		gains := s.GainsAdd()
+		c := int(probe) % inst.NumCandidates()
+		with := append(append([]int(nil), sel...), c)
+		return gains[c] == inst.Sigma(with)-inst.Sigma(sel)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

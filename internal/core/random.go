@@ -5,20 +5,46 @@ import "msc/internal/xrand"
 // RandomPlacement is the baseline of §VII-C: draw trials independent
 // uniform placements of k distinct shortcut edges and keep the one
 // maintaining the most social pairs (the paper uses trials = 500).
-func RandomPlacement(p Problem, trials int, rng *xrand.Rand) Placement {
+//
+// With Parallelism > 1 every selection is drawn serially first (the rng is
+// single-goroutine), the σ evaluations shard across workers, and the best
+// trial reduces serially with ties toward the lowest trial index — the
+// same winner the serial first-strictly-better loop keeps. The returned
+// placement is identical for every worker count.
+func RandomPlacement(p Problem, trials int, rng *xrand.Rand, opts ...Option) Placement {
+	workers := resolveOptions(opts)
 	numCand := p.NumCandidates()
 	k := p.K()
 	if k > numCand {
 		k = numCand
 	}
-	var bestSel []int
-	bestSigma := -1
-	for t := 0; t < trials; t++ {
-		sel := rng.SampleDistinct(numCand, k)
-		if sigma := p.Sigma(sel); sigma > bestSigma {
-			bestSigma = sigma
-			bestSel = sel
+	if workers <= 1 || trials <= 1 {
+		var bestSel []int
+		bestSigma := -1
+		for t := 0; t < trials; t++ {
+			sel := rng.SampleDistinct(numCand, k)
+			if sigma := p.Sigma(sel); sigma > bestSigma {
+				bestSigma = sigma
+				bestSel = sel
+			}
+		}
+		return newPlacement(p, bestSel)
+	}
+	sels := make([][]int, trials)
+	for t := range sels {
+		sels[t] = rng.SampleDistinct(numCand, k)
+	}
+	sigmas := make([]int, trials)
+	ParallelFor(workers, trials, func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			sigmas[t] = p.Sigma(sels[t])
+		}
+	})
+	best := 0
+	for t := 1; t < trials; t++ {
+		if sigmas[t] > sigmas[best] {
+			best = t
 		}
 	}
-	return newPlacement(p, bestSel)
+	return newPlacement(p, sels[best])
 }

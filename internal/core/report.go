@@ -102,8 +102,9 @@ func FormatReport(statuses []PairStatus) string {
 // the first j greedy shortcuts (curve[0] is the baseline). Practitioners
 // use it to answer "how much budget do I actually need" — the marginal
 // value of every additional reliable link, in one greedy run.
-func GreedySigmaCurve(p Problem) []int {
+func GreedySigmaCurve(p Problem, opts ...Option) []int {
 	s := p.NewSearch(nil)
+	setSearchWorkers(s, resolveOptions(opts))
 	curve := []int{s.Sigma()}
 	for s.Len() < p.K() {
 		cand, gain := s.BestAdd()

@@ -25,10 +25,14 @@ type SandwichResult struct {
 // the one that maintains the most social pairs. Per Eq. (5),
 //
 //	σ(F_app) ≥ (σ(F_σ)/ν(F_σ)) · (1 − 1/e) · σ(F*).
-func Sandwich(p Problem) SandwichResult {
+//
+// Options (e.g. Parallelism) are forwarded to the F_σ arm, whose candidate
+// scans dominate the run; the μ/ν arms run on the lazy-greedy coverage
+// solver, which is already cheap.
+func Sandwich(p Problem, opts ...Option) SandwichResult {
 	res := SandwichResult{
 		FMu:    GreedyMu(p),
-		FSigma: GreedySigma(p),
+		FSigma: GreedySigma(p, opts...),
 		FNu:    GreedyNu(p),
 	}
 	res.Best = res.FMu

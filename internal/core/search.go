@@ -21,9 +21,19 @@ import (
 // This is what lets GreedySigma and AEA scan all O(n²) candidate additions
 // per round with a tight two-float-compare inner loop instead of re-running
 // a shortest-path computation per candidate.
+//
+// Concurrency: an instSearch is single-caller like every Search, but with
+// SetWorkers > 1 its scans shard internally — GainsAdd splits the
+// triangular candidate grid into contiguous row ranges writing disjoint
+// segments of the gains array, SigmaDrops splits the per-position σ
+// re-evaluations, and rebuild computes the endpoint distance rows
+// concurrently. All shared inputs (the instance, the overlay, the distance
+// rows during a gains scan) are read-only while workers run, so the
+// results are byte-identical to the serial scan.
 type instSearch struct {
-	inst *Instance
-	sel  []int
+	inst    *Instance
+	sel     []int
+	workers int // shard count for scans; 1 = serial
 
 	endpoints []graph.NodeID // distinct pair endpoints
 	rows      [][]float64    // rows[i][x] = d_F(endpoints[i], x)
@@ -31,16 +41,19 @@ type instSearch struct {
 	pairW     []int32        // row index of pair i's W endpoint
 	pairDist  []float64      // d_F(u,w) per pair
 	gains     []int          // scratch for BestAdd, len NumCandidates
+	unsat     []int          // scratch: unsatisfied pair indices
+	drops     []int          // scratch for SigmaDrops
 	sigma     int
 }
 
-var _ Search = (*instSearch)(nil)
+var _ ParallelSearch = (*instSearch)(nil)
 
 // NewSearch returns an incremental evaluator positioned at sel (copied).
 func (inst *Instance) NewSearch(sel []int) Search {
 	s := &instSearch{
 		inst:      inst,
 		sel:       append([]int(nil), sel...),
+		workers:   1,
 		endpoints: inst.ps.Nodes(),
 	}
 	rowIdx := make(map[graph.NodeID]int, len(s.endpoints))
@@ -63,11 +76,13 @@ func (inst *Instance) NewSearch(sel []int) Search {
 	return s
 }
 
+// SetWorkers fixes the shard count for subsequent scans; 1 means fully
+// serial, n <= 0 resolves via ResolveParallelism.
+func (s *instSearch) SetWorkers(n int) { s.workers = ResolveParallelism(n) }
+
 func (s *instSearch) rebuild() {
 	ov := shortestpath.NewOverlay(s.inst.table, SelectionEdges(s.inst, s.sel))
-	for i, e := range s.endpoints {
-		ov.DistRow(e, s.rows[i])
-	}
+	shortestpath.NewEvaluator(ov, s.workers).DistRows(s.endpoints, s.rows)
 	s.sigma = 0
 	for i, p := range s.inst.ps.Pairs() {
 		d := s.rows[s.pairU[i]][p.W]
@@ -129,6 +144,13 @@ func (s *instSearch) BestAdd() (cand, gain int) {
 // GainsAdd computes the σ gain of every candidate addition in one fused
 // scan: for each unsatisfied pair it walks the candidate grid with two
 // float compares per cell. The returned slice is reused across calls.
+//
+// With workers > 1 the triangular candidate grid is split into contiguous
+// row ranges of roughly equal cell count; each worker runs the same fused
+// scan over its rows, writing the disjoint gains segment those rows map
+// to. The distance rows are read-only during the scan and the per-cell
+// accumulations are exact integer adds, so the gains array — and hence
+// every argmax taken over it — is identical to the serial scan's.
 func (s *instSearch) GainsAdd() []int {
 	nodes := s.inst.candNodes
 	t := len(nodes)
@@ -140,6 +162,19 @@ func (s *instSearch) GainsAdd() []int {
 		}
 	}
 	dt := s.inst.thr.D
+	if s.workers > 1 {
+		s.unsat = s.unsat[:0]
+		for i := range s.pairDist {
+			if s.pairDist[i] > dt {
+				s.unsat = append(s.unsat, i)
+			}
+		}
+		bounds := triRowBounds(t, s.workers)
+		ParallelFor(len(bounds)-1, len(bounds)-1, func(shard, _, _ int) {
+			s.gainsRows(bounds[shard], bounds[shard+1])
+		})
+		return s.gains
+	}
 	for i := range s.pairDist {
 		if s.pairDist[i] <= dt {
 			continue
@@ -164,11 +199,58 @@ func (s *instSearch) GainsAdd() []int {
 	return s.gains
 }
 
+// gainsRows runs the fused gains scan restricted to candidate-grid rows
+// [aiLo, aiHi), accumulating into the gains segment those rows own. The
+// unsat scratch must already hold the unsatisfied pair indices.
+func (s *instSearch) gainsRows(aiLo, aiHi int) {
+	if aiLo >= aiHi {
+		return
+	}
+	nodes := s.inst.candNodes
+	t := len(nodes)
+	dt := s.inst.thr.D
+	for _, i := range s.unsat {
+		w := int(s.inst.weights[i])
+		ru := s.rows[s.pairU[i]]
+		rw := s.rows[s.pairW[i]]
+		idx := rowStart(t, aiLo)
+		for ai := aiLo; ai < aiHi; ai++ {
+			a := nodes[ai]
+			ca := dt - ru[a]
+			cb := dt - rw[a]
+			for bi := ai + 1; bi < t; bi++ {
+				b := nodes[bi]
+				if rw[b] <= ca || ru[b] <= cb {
+					s.gains[idx] += w
+				}
+				idx++
+			}
+		}
+	}
+}
+
 func (s *instSearch) SigmaDrop(pos int) int {
 	rest := make([]int, 0, len(s.sel)-1)
 	rest = append(rest, s.sel[:pos]...)
 	rest = append(rest, s.sel[pos+1:]...)
 	return s.inst.Sigma(rest)
+}
+
+// SigmaDrops returns σ(S \ {S[pos]}) for every position. Each evaluation
+// builds its own overlay from the immutable instance, so with workers > 1
+// the positions shard across goroutines with no shared mutable state. The
+// slice is scratch reused across calls.
+func (s *instSearch) SigmaDrops() []int {
+	if cap(s.drops) < len(s.sel) {
+		s.drops = make([]int, len(s.sel))
+	}
+	s.drops = s.drops[:len(s.sel)]
+	ParallelFor(s.workers, len(s.sel), func(_, lo, hi int) {
+		for pos := lo; pos < hi; pos++ {
+			s.drops[pos] = s.SigmaDrop(pos)
+		}
+	})
+	return s.drops
 }
 
 // BestDrop returns the selection position whose removal leaves the largest
@@ -178,10 +260,11 @@ func (s *instSearch) BestDrop() (pos, sigma int) {
 	if len(s.sel) == 0 {
 		panic("core: BestDrop on empty selection")
 	}
-	pos, sigma = 0, s.SigmaDrop(0)
-	for i := 1; i < len(s.sel); i++ {
-		if sig := s.SigmaDrop(i); sig > sigma {
-			pos, sigma = i, sig
+	drops := s.SigmaDrops()
+	pos, sigma = 0, drops[0]
+	for i := 1; i < len(drops); i++ {
+		if drops[i] > sigma {
+			pos, sigma = i, drops[i]
 		}
 	}
 	return pos, sigma

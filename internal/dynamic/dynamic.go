@@ -36,7 +36,10 @@ type Problem struct {
 	k     int
 }
 
-var _ core.Problem = (*Problem)(nil)
+var (
+	_ core.Problem       = (*Problem)(nil)
+	_ core.ParallelSigma = (*Problem)(nil)
+)
 
 // NewProblem bundles per-time-instance MSC instances into a dynamic
 // problem. All instances must share the node count and budget.
@@ -93,6 +96,27 @@ func (p *Problem) Sigma(sel []int) int {
 	total := 0
 	for _, inst := range p.insts {
 		total += inst.Sigma(sel)
+	}
+	return total
+}
+
+// SigmaPar is Sigma with the per-instance evaluations sharded across
+// workers (instances are immutable, so the evaluations are independent);
+// the per-shard totals reduce serially in instance order, so
+// SigmaPar(sel, w) == Sigma(sel) for every worker count.
+func (p *Problem) SigmaPar(sel []int, workers int) int {
+	if workers <= 1 || len(p.insts) == 1 {
+		return p.Sigma(sel)
+	}
+	totals := make([]int, len(p.insts))
+	core.ParallelFor(workers, len(p.insts), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			totals[i] = p.insts[i].Sigma(sel)
+		}
+	})
+	total := 0
+	for _, t := range totals {
+		total += t
 	}
 	return total
 }
@@ -215,15 +239,39 @@ func (p *Problem) NewSearch(sel []int) core.Search {
 	for i, inst := range p.insts {
 		subs[i] = inst.NewSearch(sel)
 	}
-	return &multiSearch{prob: p, subs: subs, sel: append([]int(nil), sel...)}
+	return &multiSearch{prob: p, subs: subs, sel: append([]int(nil), sel...), workers: 1}
 }
 
-// multiSearch fans Search operations out to per-instance searches.
+// multiSearch fans Search operations out to per-instance searches. With
+// SetWorkers > 1 the fan-out runs the per-instance scans concurrently —
+// each sub-search owns its scratch, so they never share mutable state —
+// and reduces the per-instance results serially in instance order, keeping
+// every scan identical to the serial fan-out.
 type multiSearch struct {
-	prob  *Problem
-	subs  []core.Search
-	sel   []int
-	gains []int // scratch for GainsAdd
+	prob    *Problem
+	subs    []core.Search
+	sel     []int
+	workers int   // shard count for scans; 1 = serial
+	gains   []int // scratch for GainsAdd
+	drops   []int // scratch for SigmaDrops
+}
+
+var _ core.ParallelSearch = (*multiSearch)(nil)
+
+// SetWorkers fixes the shard count for subsequent scans. Workers are spent
+// across time instances first; any surplus is pushed down into the
+// per-instance candidate scans.
+func (s *multiSearch) SetWorkers(n int) {
+	s.workers = core.ResolveParallelism(n)
+	sub := s.workers / len(s.subs)
+	if sub < 1 {
+		sub = 1
+	}
+	for _, ss := range s.subs {
+		if ps, ok := ss.(core.ParallelSearch); ok {
+			ps.SetWorkers(sub)
+		}
+	}
 }
 
 func (s *multiSearch) Sigma() int {
@@ -256,8 +304,10 @@ func (s *multiSearch) GainAdd(cand int) int {
 }
 
 // GainsAdd sums the per-instance gain arrays: each sub-search runs its own
-// fused candidate scan, and the argmax is taken over the totals. The
-// returned slice is scratch reused across calls.
+// fused candidate scan (concurrently when workers allow — every sub-search
+// writes only its private scratch), and the argmax is taken over the
+// totals, summed serially in instance order. The returned slice is scratch
+// reused across calls.
 func (s *multiSearch) GainsAdd() []int {
 	numCand := s.prob.NumCandidates()
 	if s.gains == nil {
@@ -267,8 +317,14 @@ func (s *multiSearch) GainsAdd() []int {
 			s.gains[i] = 0
 		}
 	}
-	for _, sub := range s.subs {
-		for c, g := range sub.GainsAdd() {
+	subGains := make([][]int, len(s.subs))
+	core.ParallelFor(s.workers, len(s.subs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			subGains[i] = s.subs[i].GainsAdd()
+		}
+	})
+	for _, gains := range subGains {
+		for c, g := range gains {
 			s.gains[c] += g
 		}
 	}
@@ -296,14 +352,48 @@ func (s *multiSearch) SigmaDrop(pos int) int {
 	return total
 }
 
+// SigmaDrops returns Σ_i σ_i(S \ {S[pos]}) for every position in one
+// sharded pass over the per-instance drop vectors. The slice is scratch
+// reused across calls.
+func (s *multiSearch) SigmaDrops() []int {
+	if cap(s.drops) < len(s.sel) {
+		s.drops = make([]int, len(s.sel))
+	}
+	s.drops = s.drops[:len(s.sel)]
+	for i := range s.drops {
+		s.drops[i] = 0
+	}
+	subDrops := make([][]int, len(s.subs))
+	core.ParallelFor(s.workers, len(s.subs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if ps, ok := s.subs[i].(core.ParallelSearch); ok {
+				subDrops[i] = ps.SigmaDrops()
+				continue
+			}
+			drops := make([]int, len(s.sel))
+			for pos := range drops {
+				drops[pos] = s.subs[i].SigmaDrop(pos)
+			}
+			subDrops[i] = drops
+		}
+	})
+	for _, drops := range subDrops {
+		for pos, sig := range drops {
+			s.drops[pos] += sig
+		}
+	}
+	return s.drops
+}
+
 func (s *multiSearch) BestDrop() (pos, sigma int) {
 	if len(s.sel) == 0 {
 		panic("dynamic: BestDrop on empty selection")
 	}
-	pos, sigma = 0, s.SigmaDrop(0)
-	for i := 1; i < len(s.sel); i++ {
-		if sig := s.SigmaDrop(i); sig > sigma {
-			pos, sigma = i, sig
+	drops := s.SigmaDrops()
+	pos, sigma = 0, drops[0]
+	for i := 1; i < len(drops); i++ {
+		if drops[i] > sigma {
+			pos, sigma = i, drops[i]
 		}
 	}
 	return pos, sigma

@@ -1,0 +1,106 @@
+package shortestpath
+
+import (
+	"sync"
+
+	"msc/internal/graph"
+)
+
+// Evaluator batches distance queries against one Overlay across multiple
+// goroutines. An Overlay is immutable after construction, so per-pair Dist
+// and per-source DistRow queries are embarrassingly parallel; the
+// evaluator shards query lists into contiguous blocks, one goroutine per
+// shard, and reduces per-shard totals in shard order. Results are
+// therefore deterministic and identical to a serial scan for every worker
+// count.
+type Evaluator struct {
+	ov      *Overlay
+	workers int
+}
+
+// NewEvaluator wraps an overlay oracle with a worker count. workers <= 1
+// yields serial evaluation.
+func NewEvaluator(ov *Overlay, workers int) *Evaluator {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Evaluator{ov: ov, workers: workers}
+}
+
+// CountWithin returns the total weight of query pairs (us[i], ws[i]) whose
+// augmented distance is at most bound. weights may be nil, giving every
+// pair weight 1. The per-shard sums are exact integer arithmetic, so the
+// result equals the serial scan's for any worker count.
+func (e *Evaluator) CountWithin(us, ws []graph.NodeID, weights []int32, bound float64) int {
+	if len(us) != len(ws) {
+		panic("shortestpath: CountWithin query length mismatch")
+	}
+	count := func(lo, hi int) int {
+		total := 0
+		for i := lo; i < hi; i++ {
+			if e.ov.Dist(us[i], ws[i]) <= bound {
+				if weights == nil {
+					total++
+				} else {
+					total += int(weights[i])
+				}
+			}
+		}
+		return total
+	}
+	if e.workers <= 1 || len(us) < 2*e.workers {
+		return count(0, len(us))
+	}
+	totals := make([]int, e.workers)
+	e.shard(len(us), func(shard, lo, hi int) {
+		totals[shard] = count(lo, hi)
+	})
+	total := 0
+	for _, t := range totals {
+		total += t
+	}
+	return total
+}
+
+// DistRows fills rows[i] with the augmented distance row of srcs[i], one
+// source per unit of sharded work. Each DistRow call owns its output row
+// and internal scratch, so the rows are independent.
+func (e *Evaluator) DistRows(srcs []graph.NodeID, rows [][]float64) {
+	if len(srcs) != len(rows) {
+		panic("shortestpath: DistRows length mismatch")
+	}
+	if e.workers <= 1 || len(srcs) < 2 {
+		for i, src := range srcs {
+			e.ov.DistRow(src, rows[i])
+		}
+		return
+	}
+	e.shard(len(srcs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.ov.DistRow(srcs[i], rows[i])
+		}
+	})
+}
+
+// shard splits [0, n) into contiguous blocks, one goroutine per non-empty
+// block, and waits for all of them.
+func (e *Evaluator) shard(n int, fn func(shard, lo, hi int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -109,7 +109,22 @@ type (
 	AEAResult = core.AEAResult
 	// DynamicProblem evaluates one placement against a topology series.
 	DynamicProblem = dynamic.Problem
+	// Option configures a solver entry point (e.g. Parallelism).
+	Option = core.Option
+	// ParallelSearch is a Search whose candidate scans shard across
+	// workers after SetWorkers, with results identical to a serial scan.
+	ParallelSearch = core.ParallelSearch
 )
+
+// Parallelism fixes the number of candidate-scan workers a solver may use:
+// 1 restores the fully serial code path, n <= 0 (or omitting the option)
+// selects the package default. Placements are identical for every worker
+// count — the parallel scans reduce deterministically (see DESIGN.md).
+func Parallelism(n int) Option { return core.Parallelism(n) }
+
+// SetDefaultParallelism sets the worker count used by solvers given no
+// explicit Parallelism option; n <= 0 restores the GOMAXPROCS default.
+func SetDefaultParallelism(n int) { core.SetDefaultParallelism(n) }
 
 // NewGraphBuilder returns a builder for a network with n nodes.
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
@@ -159,10 +174,10 @@ func NewRand(seed int64) *Rand { return xrand.New(seed) }
 // Sandwich runs the paper's approximation algorithm (AA): best of the
 // greedy placements for μ, σ, and ν, with the data-dependent bound of
 // Eq. (5).
-func Sandwich(p Problem) SandwichResult { return core.Sandwich(p) }
+func Sandwich(p Problem, opts ...Option) SandwichResult { return core.Sandwich(p, opts...) }
 
 // GreedySigma greedily maximizes σ directly (the F_σ arm).
-func GreedySigma(p Problem) Placement { return core.GreedySigma(p) }
+func GreedySigma(p Problem, opts ...Option) Placement { return core.GreedySigma(p, opts...) }
 
 // GreedyMu greedily maximizes the submodular lower bound μ.
 func GreedyMu(p Problem) Placement { return core.GreedyMu(p) }
@@ -188,14 +203,14 @@ func DefaultAEAOptions() AEAOptions { return core.DefaultAEAOptions() }
 
 // RandomPlacement returns the best of `trials` uniform random placements —
 // the baseline of §VII-C.
-func RandomPlacement(p Problem, trials int, rng *Rand) Placement {
-	return core.RandomPlacement(p, trials, rng)
+func RandomPlacement(p Problem, trials int, rng *Rand, opts ...Option) Placement {
+	return core.RandomPlacement(p, trials, rng, opts...)
 }
 
 // Exhaustive computes the exact optimum by enumeration; exponential, for
 // small instances (maxEvals caps the σ evaluations).
-func Exhaustive(p Problem, maxEvals int) (Placement, error) {
-	return core.Exhaustive(p, maxEvals)
+func Exhaustive(p Problem, maxEvals int, opts ...Option) (Placement, error) {
+	return core.Exhaustive(p, maxEvals, opts...)
 }
 
 // SelectionEdges converts a solver's candidate-index selection to edges.
@@ -224,7 +239,7 @@ func FormatReport(statuses []PairStatus) string { return core.FormatReport(statu
 
 // GreedySigmaCurve returns σ after each successive greedy shortcut
 // (curve[0] = baseline): the marginal value of every unit of budget.
-func GreedySigmaCurve(p Problem) []int { return core.GreedySigmaCurve(p) }
+func GreedySigmaCurve(p Problem, opts ...Option) []int { return core.GreedySigmaCurve(p, opts...) }
 
 // LocalSearch refines a placement by best-improvement (drop, add) swaps
 // until a swap-local optimum; it never returns a worse placement.
