@@ -150,3 +150,147 @@ func TestMscsimPipeline(t *testing.T) {
 		t.Fatalf("mscsim output unexpected:\n%s", out)
 	}
 }
+
+// runToolErr executes a tool expecting a non-zero exit; it returns the
+// combined output.
+func runToolErr(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmdArgs := append([]string{"run", "./cmd/" + tool}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = ".."
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v succeeded, want failure:\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
+func TestVersionFlagAllCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	for _, tool := range []string{"mscgen", "mscplace", "mscsim", "mscviz", "mscbench"} {
+		out := runTool(t, tool, "-version")
+		// Build info always carries at least the tool name and Go version.
+		if !strings.HasPrefix(out, tool+" ") || !strings.Contains(out, "go1") {
+			t.Errorf("%s -version output unexpected: %q", tool, out)
+		}
+	}
+}
+
+func TestMscbenchRejectsUnknownExp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out := runToolErr(t, "mscbench", "-exp", "tabel1")
+	if !strings.Contains(out, `unknown experiment "tabel1"`) || !strings.Contains(out, "table1") {
+		t.Fatalf("error should name the typo and list valid ids:\n%s", out)
+	}
+	// A typo hiding in a comma-separated list must fail before anything
+	// runs, not midway through the suite.
+	out = runToolErr(t, "mscbench", "-exp", "table1,nope", "-quick")
+	if strings.Contains(out, "Table I") {
+		t.Fatalf("experiments ran before validation:\n%s", out)
+	}
+}
+
+func TestMscbenchJSONLRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	records := filepath.Join(dir, "out.jsonl")
+	runTool(t, "mscbench", "-exp", "table1", "-quick", "-jsonl", records)
+	out := runTool(t, "mscbench", "-validate", records)
+	if !strings.Contains(out, "events OK") || !strings.Contains(out, "run=") {
+		t.Fatalf("validation output unexpected: %q", out)
+	}
+	raw, err := os.ReadFile(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every line is a schema-stable run record: counters present, σ and
+	// instance shape populated for per-solver records.
+	var solverRecords int
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec struct {
+			Event     string           `json:"event"`
+			Algorithm string           `json:"algorithm"`
+			Sigma     *int             `json:"sigma"`
+			WallMS    *float64         `json:"wall_ms"`
+			Counters  map[string]int64 `json:"counters"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line not valid JSON: %v\n%s", err, line)
+		}
+		if rec.Event != "run" || rec.Sigma == nil || rec.WallMS == nil || rec.Counters == nil {
+			t.Fatalf("run record missing required fields: %s", line)
+		}
+		if rec.Algorithm == "greedy_sigma" {
+			solverRecords++
+			if *rec.Sigma < 0 || rec.Counters["candidate_evals"] <= 0 {
+				t.Fatalf("solver record implausible: %s", line)
+			}
+		}
+	}
+	if solverRecords == 0 {
+		t.Fatal("no per-solver run records emitted")
+	}
+	// Corrupting a record must fail validation.
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, append(raw, []byte("{\"event\":\"run\"}\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut := runToolErr(t, "mscbench", "-validate", bad)
+	if !strings.Contains(errOut, "missing required field") {
+		t.Fatalf("corrupt record not rejected:\n%s", errOut)
+	}
+}
+
+func TestMscplaceJSONLTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	trace := filepath.Join(dir, "trace.jsonl")
+	runTool(t, "mscgen", "-kind", "rgg", "-n", "40", "-m", "8", "-pt", "0.12",
+		"-k", "3", "-seed", "5", "-out", inst)
+	out := runTool(t, "mscplace", "-in", inst, "-alg", "greedy", "-jsonl", trace)
+	shortcuts := strings.Count(out, "shortcut:")
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds int
+	var lastRoundSigma, runSigma int
+	var gotRun bool
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var ev struct {
+			Event string `json:"event"`
+			Sigma int    `json:"sigma"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line not valid JSON: %v\n%s", err, line)
+		}
+		switch ev.Event {
+		case "round":
+			rounds++
+			lastRoundSigma = ev.Sigma
+		case "run":
+			gotRun = true
+			runSigma = ev.Sigma
+		}
+	}
+	if rounds != shortcuts {
+		t.Fatalf("%d round events for %d printed shortcuts:\n%s", rounds, shortcuts, out)
+	}
+	if !gotRun {
+		t.Fatal("no run record emitted")
+	}
+	if rounds > 0 && lastRoundSigma != runSigma {
+		t.Fatalf("final round σ %d != run record σ %d", lastRoundSigma, runSigma)
+	}
+	// The mscbench validator accepts mscplace traces too — one schema.
+	runTool(t, "mscbench", "-validate", trace)
+}

@@ -8,6 +8,8 @@
 //	mscbench -exp fig3 -csv           # Fig. 3 series as CSV
 //	mscbench -exp fig1 -svg out/      # also write Fig. 1 SVG renderings
 //	mscbench -exp fig5a -quick        # reduced-scale smoke run
+//	mscbench -exp table1 -quick -jsonl out.jsonl   # machine-readable run records
+//	mscbench -validate out.jsonl      # schema-check a JSONL record file
 package main
 
 import (
@@ -15,11 +17,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
+	"msc/internal/cli"
 	"msc/internal/core"
 	"msc/internal/experiments"
+	"msc/internal/telemetry"
 	"msc/internal/viz"
 )
 
@@ -30,30 +35,140 @@ func main() {
 	}
 }
 
+// validIDs lists every runnable experiment, in suite order. "all" expands
+// to exactly this list.
+var validIDs = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "ext1", "ext2", "ext3", "ext4"}
+
+// resolveIDs expands and validates a comma-separated -exp value. Unknown
+// ids fail fast — before any experiment runs — with the full valid set, so
+// a typo can never masquerade as a clean empty run.
+func resolveIDs(exp string) ([]string, error) {
+	known := make(map[string]bool, len(validIDs))
+	for _, id := range validIDs {
+		known[id] = true
+	}
+	var ids []string
+	for _, id := range strings.Split(exp, ",") {
+		id = strings.TrimSpace(id)
+		switch {
+		case id == "all":
+			ids = append(ids, validIDs...)
+		case known[id]:
+			ids = append(ids, id)
+		default:
+			return nil, fmt.Errorf("unknown experiment %q: valid ids are %s, all", id, strings.Join(validIDs, ", "))
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no experiment ids given: valid ids are %s, all", strings.Join(validIDs, ", "))
+	}
+	return ids, nil
+}
+
 func run() error {
 	var (
-		exp   = flag.String("exp", "all", "experiment id: table1|table2|fig1|fig2|fig3|fig4|fig5a|fig5b|ext1|ext2|ext3|ext4|all")
-		seed  = flag.Int64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
-		quick = flag.Bool("quick", false, "reduced-scale smoke run")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		svg   = flag.String("svg", "", "directory to write fig1 SVG renderings into")
-		par   = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (results are identical either way)")
+		exp      = flag.String("exp", "all", "experiment id(s), comma-separated: "+strings.Join(validIDs, "|")+"|all")
+		seed     = flag.Int64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
+		quick    = flag.Bool("quick", false, "reduced-scale smoke run")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		svg      = flag.String("svg", "", "directory to write fig1 SVG renderings into")
+		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (results are identical either way)")
+		jsonl    = flag.String("jsonl", "", "write machine-readable run records as JSON lines to this file")
+		validate = flag.String("validate", "", "validate a JSONL run-record file against the telemetry schema and exit")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version("mscbench"))
+		return nil
+	}
+	if *validate != "" {
+		return validateFile(*validate)
+	}
 	core.SetDefaultParallelism(*par)
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
-	ids := strings.Split(*exp, ",")
-	if *exp == "all" {
-		ids = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "ext1", "ext2", "ext3", "ext4"}
+	ids, err := resolveIDs(*exp)
+	if err != nil {
+		return err
 	}
-	for _, id := range ids {
-		start := time.Now()
-		if err := runOne(cfg, strings.TrimSpace(id), *csv, *svg); err != nil {
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	var sink *telemetry.JSONLSink
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		defer f.Close()
+		sink = telemetry.NewJSONL(f)
+		cfg.Sink = sink
+		defer func() {
+			if err := sink.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "mscbench: jsonl:", err)
+			}
+		}()
 	}
+	for _, id := range ids {
+		before := telemetry.Global().Snapshot()
+		start := time.Now()
+		if err := runOne(cfg, id, *csv, *svg); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		if sink != nil {
+			// A whole-experiment record on top of the per-solver records
+			// Config.Sink emits: no single σ applies, so Sigma is −1 by
+			// schema convention.
+			sink.Emit(telemetry.RunRecord{
+				Name:      id,
+				Algorithm: "experiment",
+				Seed:      *seed,
+				Workers:   *par,
+				Quick:     *quick,
+				Sigma:     -1,
+				WallMS:    float64(elapsed.Nanoseconds()) / 1e6,
+				Counters:  telemetry.Global().Snapshot().Sub(before),
+			})
+		}
+		fmt.Printf("[%s took %v]\n\n", id, elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// validateFile schema-checks a JSONL record file and prints the per-kind
+// line counts. An empty file is an error: CI points this at freshly
+// emitted records, where zero lines means the emitter is broken.
+func validateFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	counts, err := telemetry.ValidateJSONL(f)
+	if err != nil {
+		return fmt.Errorf("validate %s: %w", path, err)
+	}
+	total := 0
+	kinds := make([]string, 0, len(counts))
+	for kind, n := range counts {
+		total += n
+		kinds = append(kinds, kind)
+	}
+	if total == 0 {
+		return fmt.Errorf("validate %s: no events found", path)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("%s: %d events OK", path, total)
+	for _, kind := range kinds {
+		fmt.Printf(" %s=%d", kind, counts[kind])
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"msc"
+	"msc/internal/cli"
 	"msc/internal/mobility"
 )
 
@@ -27,17 +28,22 @@ func main() {
 
 func run() error {
 	var (
-		kind   = flag.String("kind", "rgg", "workload: rgg|social|mobility")
-		n      = flag.Int("n", 100, "node count (rgg, mobility)")
-		m      = flag.Int("m", 17, "important social pairs to sample (rgg, social)")
-		pt     = flag.Float64("pt", 0.11, "failure-probability threshold p_t")
-		k      = flag.Int("k", 6, "shortcut budget recorded in the instance")
-		seed   = flag.Int64("seed", 1, "random seed")
-		out    = flag.String("out", "", "output path (default stdout)")
-		steps  = flag.Int("steps", 30, "time instances (mobility)")
-		radius = flag.Float64("radius", 0, "RGG connection radius (0 = auto-scale with n)")
+		kind    = flag.String("kind", "rgg", "workload: rgg|social|mobility")
+		n       = flag.Int("n", 100, "node count (rgg, mobility)")
+		m       = flag.Int("m", 17, "important social pairs to sample (rgg, social)")
+		pt      = flag.Float64("pt", 0.11, "failure-probability threshold p_t")
+		k       = flag.Int("k", 6, "shortcut budget recorded in the instance")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output path (default stdout)")
+		steps   = flag.Int("steps", 30, "time instances (mobility)")
+		radius  = flag.Float64("radius", 0, "RGG connection radius (0 = auto-scale with n)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version("mscgen"))
+		return nil
+	}
 
 	w := os.Stdout
 	if *out != "" {

@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"msc"
+	"msc/internal/cli"
 )
 
 func main() {
@@ -41,21 +43,48 @@ type output struct {
 
 func run() error {
 	var (
-		in     = flag.String("in", "", "instance JSON (required)")
-		alg    = flag.String("alg", "sandwich", "algorithm: sandwich|greedy|mu|nu|ea|aea|random|cn")
-		k      = flag.Int("k", 0, "override shortcut budget (default: instance's)")
-		pt     = flag.Float64("pt", 0, "override threshold p_t (default: instance's)")
-		iters  = flag.Int("iters", 500, "iterations r (ea, aea)")
-		seed   = flag.Int64("seed", 1, "random seed (ea, aea, random)")
-		outP   = flag.String("out", "", "also write the result as JSON to this path")
-		report = flag.Bool("report", false, "print a per-pair diagnostic table")
-		refine = flag.Bool("refine", false, "apply local-search swap refinement to the placement")
-		par    = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (placements are identical either way)")
+		in      = flag.String("in", "", "instance JSON (required)")
+		alg     = flag.String("alg", "sandwich", "algorithm: sandwich|greedy|mu|nu|ea|aea|random|cn")
+		k       = flag.Int("k", 0, "override shortcut budget (default: instance's)")
+		pt      = flag.Float64("pt", 0, "override threshold p_t (default: instance's)")
+		iters   = flag.Int("iters", 500, "iterations r (ea, aea)")
+		seed    = flag.Int64("seed", 1, "random seed (ea, aea, random)")
+		outP    = flag.String("out", "", "also write the result as JSON to this path")
+		report  = flag.Bool("report", false, "print a per-pair diagnostic table")
+		refine  = flag.Bool("refine", false, "apply local-search swap refinement to the placement")
+		par     = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (placements are identical either way)")
+		jsonl   = flag.String("jsonl", "", "write per-round telemetry events and a run record as JSON lines to this file")
+		version = flag.Bool("version", false, "print version and exit")
 	)
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version("mscplace"))
+		return nil
+	}
 	msc.SetDefaultParallelism(*par)
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	var sink *msc.JSONLSink
+	if *jsonl != "" {
+		tf, err := os.Create(*jsonl)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		sink = msc.NewJSONLSink(tf)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "mscplace: jsonl:", err)
+			}
+		}()
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -98,26 +127,41 @@ func run() error {
 	}
 	rng := msc.NewRand(*seed)
 
+	// A typed-nil sink must never reach an interface-typed option (it
+	// would defeat the solvers' nil fast path), so options are built only
+	// when tracing is on.
+	var solverOpts []msc.Option
+	eaOpts := msc.EAOptions{Iterations: *iters}
+	aeaOpts := msc.DefaultAEAOptions()
+	aeaOpts.Iterations = *iters
+	lsOpts := msc.LocalSearchOptions{}
+	if sink != nil {
+		solverOpts = append(solverOpts, msc.WithSink(sink))
+		eaOpts.Sink = sink
+		aeaOpts.Sink = sink
+		lsOpts.Sink = sink
+	}
+	before := msc.CountersSnapshot()
+	start := time.Now()
+
 	var pl msc.Placement
 	var ratio float64
 	switch *alg {
 	case "sandwich":
-		res := msc.Sandwich(inst)
+		res := msc.Sandwich(inst, solverOpts...)
 		pl, ratio = res.Best, res.ApproxFactor
 	case "greedy":
-		pl = msc.GreedySigma(inst)
+		pl = msc.GreedySigma(inst, solverOpts...)
 	case "mu":
 		pl = msc.GreedyMu(inst)
 	case "nu":
 		pl = msc.GreedyNu(inst)
 	case "ea":
-		pl = msc.EA(inst, msc.EAOptions{Iterations: *iters}, rng).Best
+		pl = msc.EA(inst, eaOpts, rng).Best
 	case "aea":
-		opts := msc.DefaultAEAOptions()
-		opts.Iterations = *iters
-		pl = msc.AEA(inst, opts, rng).Best
+		pl = msc.AEA(inst, aeaOpts, rng).Best
 	case "random":
-		pl = msc.RandomPlacement(inst, *iters, rng)
+		pl = msc.RandomPlacement(inst, *iters, rng, solverOpts...)
 	case "cn":
 		res, err := msc.SolveCommonNode(inst)
 		if err != nil {
@@ -129,11 +173,29 @@ func run() error {
 	}
 
 	if *refine {
-		refined := msc.LocalSearch(inst, pl.Selection, msc.LocalSearchOptions{})
+		refined := msc.LocalSearch(inst, pl.Selection, lsOpts)
 		if refined.Sigma > pl.Sigma {
 			fmt.Printf("refinement: σ %d -> %d\n", pl.Sigma, refined.Sigma)
 			pl = refined
 		}
+	}
+
+	if sink != nil {
+		sink.Emit(msc.RunRecord{
+			Name:       *alg,
+			Algorithm:  *alg,
+			Seed:       *seed,
+			Workers:    *par,
+			N:          inst.N(),
+			Pairs:      ps.Len(),
+			Candidates: inst.NumCandidates(),
+			K:          budget,
+			Pt:         threshold,
+			Sigma:      pl.Sigma,
+			MaxSigma:   inst.MaxSigma(),
+			WallMS:     float64(time.Since(start).Nanoseconds()) / 1e6,
+			Counters:   msc.CountersSnapshot().Sub(before),
+		})
 	}
 
 	fmt.Printf("algorithm:  %s\n", *alg)

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"msc"
+	"msc/internal/cli"
 )
 
 func main() {
@@ -26,12 +27,17 @@ func main() {
 
 func run() error {
 	var (
-		in     = flag.String("in", "", "instance JSON (required)")
-		place  = flag.String("placement", "", "placement JSON from mscplace -out (optional: empty = no shortcuts)")
-		trials = flag.Int("trials", 10000, "simulation trials")
-		seed   = flag.Int64("seed", 1, "random seed")
+		in      = flag.String("in", "", "instance JSON (required)")
+		place   = flag.String("placement", "", "placement JSON from mscplace -out (optional: empty = no shortcuts)")
+		trials  = flag.Int("trials", 10000, "simulation trials")
+		seed    = flag.Int64("seed", 1, "random seed")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version("mscsim"))
+		return nil
+	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"msc"
+	"msc/internal/cli"
 )
 
 func main() {
@@ -30,14 +31,19 @@ type placementFile struct {
 
 func run() error {
 	var (
-		in    = flag.String("in", "", "instance JSON (required)")
-		place = flag.String("placement", "", "placement JSON from mscplace -out")
-		out   = flag.String("out", "", "SVG output path (default stdout)")
-		ascii = flag.Bool("ascii", false, "emit an ASCII sketch instead of SVG")
-		title = flag.String("title", "", "picture title")
-		width = flag.Int("width", 720, "SVG width in pixels")
+		in      = flag.String("in", "", "instance JSON (required)")
+		place   = flag.String("placement", "", "placement JSON from mscplace -out")
+		out     = flag.String("out", "", "SVG output path (default stdout)")
+		ascii   = flag.Bool("ascii", false, "emit an ASCII sketch instead of SVG")
+		title   = flag.String("title", "", "picture title")
+		width   = flag.Int("width", 720, "SVG width in pixels")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version("mscviz"))
+		return nil
+	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}

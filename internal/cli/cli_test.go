@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVersionMentionsCommandAndGo(t *testing.T) {
+	v := Version("mscplace")
+	if !strings.HasPrefix(v, "mscplace") {
+		t.Fatalf("Version = %q, want mscplace prefix", v)
+	}
+	// Test binaries always carry build info with a Go version.
+	if !strings.Contains(v, "go") {
+		t.Fatalf("Version = %q, want a go toolchain stamp", v)
+	}
+	if strings.Contains(v, "\n") {
+		t.Fatalf("Version = %q, want a single line", v)
+	}
+}
+
+func TestAddProfileFlagsRegistersTrio(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	p := AddProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out", "-trace", "t.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUProfile != "cpu.out" || p.MemProfile != "mem.out" || p.Trace != "t.out" {
+		t.Fatalf("parsed profile = %+v", p)
+	}
+}
+
+func TestProfileZeroValueIsNoop(t *testing.T) {
+	var p Profile
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+func TestProfileWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := Profile{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "exec.trace"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bit of work so the profiles are non-trivial.
+	total := 0
+	for i := 0; i < 1_000_000; i++ {
+		total += i % 7
+	}
+	_ = total
+	stop()
+	for _, path := range []string{p.CPUProfile, p.MemProfile, p.Trace} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile output %s: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile output %s is empty", path)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"time"
+
+	"msc/internal/telemetry"
 	"msc/internal/xrand"
 )
 
@@ -27,6 +30,10 @@ type AEAOptions struct {
 	// <= 0 resolves via ResolveParallelism. The run is identical for every
 	// worker count: the rng draws only on fully reduced scan results.
 	Parallelism int
+	// Sink, when non-nil, receives one RoundEvent per iteration (the
+	// child's σ gain over its parent and the best σ so far). Tracing never
+	// touches the RNG, so runs are identical with and without a sink.
+	Sink telemetry.Sink
 }
 
 // DefaultAEAOptions mirror the paper's evaluation settings (§VII-D).
@@ -87,6 +94,10 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 	}
 
 	for iter := 0; iter < opts.Iterations; iter++ {
+		var start time.Time
+		if opts.Sink != nil {
+			start = time.Now()
+		}
 		parent := pop[rng.Intn(len(pop))]
 		child := deriveChild(p, parent, opts.Delta, rng, workers)
 		if child.sigma > best.sigma {
@@ -95,6 +106,27 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 		updatePopulation(&pop, child, opts.PopSize)
 		if opts.RecordTrace {
 			res.Trace = append(res.Trace, best.sigma)
+		}
+		if opts.Sink != nil {
+			// The swap's added candidate sits at the end of the child
+			// selection (both greedy and random swaps append it last).
+			var added *[2]int32
+			if len(child.sel) > 0 {
+				e := p.CandidateEdge(child.sel[len(child.sel)-1])
+				added = &[2]int32{int32(e.U), int32(e.V)}
+			}
+			opts.Sink.Emit(telemetry.RoundEvent{
+				Algorithm:  "aea",
+				Round:      iter,
+				Shortcut:   added,
+				Gain:       child.sigma - parent.sigma,
+				Sigma:      best.sigma,
+				Selected:   len(child.sel),
+				Candidates: numCand,
+				Mu:         p.Mu(child.sel),
+				Nu:         p.Nu(child.sel),
+				ElapsedNS:  time.Since(start).Nanoseconds(),
+			})
 		}
 	}
 	res.Best = newPlacement(p, best.sel)

@@ -4,6 +4,7 @@ import (
 	"msc/internal/bitset"
 	"msc/internal/graph"
 	"msc/internal/maxcover"
+	"msc/internal/telemetry"
 )
 
 // buildBounds materializes the coverage structures behind the two
@@ -106,6 +107,7 @@ func (inst *Instance) buildNuSets() {
 // pairs satisfiable with at most one shortcut each, plus pairs already
 // satisfied.
 func (inst *Instance) Mu(sel []int) float64 {
+	telemetry.Global().MuEvals.Add(1)
 	inst.buildBounds()
 	covered := inst.satisfied0.Clone()
 	for _, c := range sel {
@@ -121,6 +123,7 @@ func (inst *Instance) Mu(sel []int) float64 {
 // Nu evaluates the upper bound ν on a selection: total weight of covered
 // pair endpoints plus the satisfied-at-baseline offset.
 func (inst *Instance) Nu(sel []int) float64 {
+	telemetry.Global().NuEvals.Add(1)
 	inst.buildBounds()
 	covered := bitset.New(len(inst.nuNodes))
 	for _, c := range sel {

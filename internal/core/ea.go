@@ -2,7 +2,9 @@ package core
 
 import (
 	"sort"
+	"time"
 
+	"msc/internal/telemetry"
 	"msc/internal/xrand"
 )
 
@@ -30,6 +32,11 @@ type EAOptions struct {
 	// serial path, <= 0 resolves via ResolveParallelism. Results are
 	// identical for every worker count.
 	Parallelism int
+	// Sink, when non-nil, receives one RoundEvent per iteration (the
+	// offspring's σ gain over its parent and the best feasible σ so far).
+	// Tracing never touches the RNG, so runs are identical with and
+	// without a sink.
+	Sink telemetry.Sink
 }
 
 // eaSol is one archive member: a solution with cached objective values.
@@ -62,6 +69,10 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 
 	flipProb := 1 / float64(numCand)
 	for iter := 0; iter < opts.Iterations; iter++ {
+		var start time.Time
+		if opts.Sink != nil {
+			start = time.Now()
+		}
 		parent := pop[rng.Intn(len(pop))]
 		child := mutate(parent.sel, numCand, flipProb, rng)
 		childSigma := SigmaOf(p, child, workers)
@@ -72,6 +83,19 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 		}
 		if opts.RecordTrace {
 			res.Trace = append(res.Trace, bestFeasible.sigma)
+		}
+		if opts.Sink != nil {
+			opts.Sink.Emit(telemetry.RoundEvent{
+				Algorithm:  "ea",
+				Round:      iter,
+				Gain:       childSigma - parent.sigma,
+				Sigma:      bestFeasible.sigma,
+				Selected:   len(child),
+				Candidates: numCand,
+				Mu:         p.Mu(child),
+				Nu:         p.Nu(child),
+				ElapsedNS:  time.Since(start).Nanoseconds(),
+			})
 		}
 	}
 	res.Best = newPlacement(p, bestFeasible.sel)

@@ -1,6 +1,11 @@
 package core
 
-import "msc/internal/maxcover"
+import (
+	"time"
+
+	"msc/internal/maxcover"
+	"msc/internal/telemetry"
+)
 
 // GreedySigma greedily maximizes σ directly: at each of up to k rounds it
 // adds the candidate shortcut with the largest exact marginal gain. This is
@@ -13,16 +18,52 @@ import "msc/internal/maxcover"
 //
 // The per-round candidate scan shards across Parallelism(n) workers (see
 // parallel.go); the placement is identical for every worker count.
+//
+// With WithSink attached, every committed round emits a RoundEvent carrying
+// the chosen shortcut, its marginal gain, the σ/μ/ν values of the selection
+// after the round, the scan width, and the per-shard wall-time extrema of
+// the candidate scan. Tracing reads solver state but never influences it,
+// so the placement is identical with and without a sink.
 func GreedySigma(p Problem, opts ...Option) Placement {
-	workers := resolveOptions(opts)
+	cfg := resolveConfig(opts)
 	s := p.NewSearch(nil)
-	setSearchWorkers(s, workers)
-	for s.Len() < p.K() {
+	setSearchWorkers(s, cfg.workers)
+	if cfg.sink == nil {
+		for s.Len() < p.K() {
+			cand, gain := s.BestAdd()
+			if gain <= 0 {
+				break
+			}
+			s.Add(cand)
+		}
+		return newPlacement(p, s.Selection())
+	}
+	enableScanTiming(s)
+	for round := 0; s.Len() < p.K(); round++ {
+		start := time.Now()
 		cand, gain := s.BestAdd()
 		if gain <= 0 {
 			break
 		}
 		s.Add(cand)
+		sel := s.Selection()
+		e := p.CandidateEdge(cand)
+		minNS, maxNS, shards := lastScanShards(s)
+		cfg.sink.Emit(telemetry.RoundEvent{
+			Algorithm:  "greedy_sigma",
+			Round:      round,
+			Shortcut:   &[2]int32{int32(e.U), int32(e.V)},
+			Gain:       gain,
+			Sigma:      s.Sigma(),
+			Selected:   len(sel),
+			Candidates: p.NumCandidates(),
+			Mu:         p.Mu(sel),
+			Nu:         p.Nu(sel),
+			ElapsedNS:  time.Since(start).Nanoseconds(),
+			ShardMinNS: minNS,
+			ShardMaxNS: maxNS,
+			Shards:     shards,
+		})
 	}
 	return newPlacement(p, s.Selection())
 }

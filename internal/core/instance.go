@@ -36,6 +36,7 @@ import (
 	"msc/internal/maxcover"
 	"msc/internal/pairs"
 	"msc/internal/shortestpath"
+	"msc/internal/telemetry"
 )
 
 // Problem abstracts an MSC instance (single-topology or dynamic) for the
@@ -392,6 +393,7 @@ func EdgeSelection(p Problem, es []graph.Edge) []int {
 // Sigma evaluates σ(F) for the selection via the shortcut-overlay oracle:
 // the total weight of pairs within d_t in G ∪ F.
 func (inst *Instance) Sigma(sel []int) int {
+	telemetry.Global().SigmaEvals.Add(1)
 	if len(sel) == 0 {
 		return inst.baseSigma
 	}
@@ -418,6 +420,7 @@ func (inst *Instance) SigmaPar(sel []int, workers int) int {
 	if workers <= 1 || len(sel) == 0 {
 		return inst.Sigma(sel)
 	}
+	telemetry.Global().SigmaEvals.Add(1)
 	inst.queryOnce.Do(func() {
 		ps := inst.ps.Pairs()
 		inst.queryU = make([]graph.NodeID, len(ps))

@@ -1,5 +1,11 @@
 package core
 
+import (
+	"time"
+
+	"msc/internal/telemetry"
+)
+
 // LocalSearchOptions tune the swap-based refinement pass.
 type LocalSearchOptions struct {
 	// MaxIters bounds the number of improving swaps (default 100).
@@ -9,6 +15,11 @@ type LocalSearchOptions struct {
 	// ResolveParallelism. The refinement is identical for every worker
 	// count.
 	Parallelism int
+	// Sink, when non-nil, receives one RoundEvent per applied swap (the
+	// added shortcut, the σ gain of the swap, and σ after it). Tracing
+	// reads solver state only, so the refinement is identical with and
+	// without a sink.
+	Sink telemetry.Sink
 }
 
 // LocalSearch refines a placement by best-improvement swaps: repeatedly
@@ -29,16 +40,37 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 	cur := append([]int(nil), start...)
 	s := p.NewSearch(cur)
 	for iter := 0; iter < maxIters; iter++ {
+		var start time.Time
+		if opts.Sink != nil {
+			start = time.Now()
+		}
 		// Evaluate the full (drop, add) neighborhood: for each drop
 		// position, a private search without it scans the best addition;
 		// positions shard across workers (see ParBestSwap).
-		bestDrop, bestAdd, _ := ParBestSwap(p, cur, s.Sigma(), workers)
+		prevSigma := s.Sigma()
+		bestDrop, bestAdd, _ := ParBestSwap(p, cur, prevSigma, workers)
 		if bestDrop < 0 {
 			break // swap-local optimum
 		}
 		cur = append(cur[:bestDrop], cur[bestDrop+1:]...)
 		cur = append(cur, bestAdd)
 		s = p.NewSearch(cur)
+		if opts.Sink != nil {
+			e := p.CandidateEdge(bestAdd)
+			sigma := s.Sigma()
+			opts.Sink.Emit(telemetry.RoundEvent{
+				Algorithm:  "local_search",
+				Round:      iter,
+				Shortcut:   &[2]int32{int32(e.U), int32(e.V)},
+				Gain:       sigma - prevSigma,
+				Sigma:      sigma,
+				Selected:   len(cur),
+				Candidates: p.NumCandidates(),
+				Mu:         p.Mu(cur),
+				Nu:         p.Nu(cur),
+				ElapsedNS:  time.Since(start).Nanoseconds(),
+			})
+		}
 	}
 	return newPlacement(p, cur)
 }

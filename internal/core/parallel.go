@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"msc/internal/telemetry"
 )
 
 // This file is the shared parallel candidate-scan engine. Every placement
@@ -31,6 +33,7 @@ type Option func(*solveConfig)
 
 type solveConfig struct {
 	workers int
+	sink    telemetry.Sink
 }
 
 // Parallelism fixes the number of candidate-scan workers a solver may use.
@@ -39,6 +42,17 @@ type solveConfig struct {
 // overridden with SetDefaultParallelism.
 func Parallelism(n int) Option {
 	return func(c *solveConfig) { c.workers = n }
+}
+
+// WithSink attaches a telemetry sink to a solver run: GreedySigma emits one
+// RoundEvent per greedy round, Sandwich additionally a SandwichEvent; other
+// Option-taking solvers accept and ignore it. A nil sink (or omitting the
+// option) disables tracing entirely — emission sites nil-check before doing
+// any work, so detached telemetry adds no allocations and no time to the
+// candidate-scan hot path, and placements are identical with or without a
+// sink.
+func WithSink(s telemetry.Sink) Option {
+	return func(c *solveConfig) { c.sink = s }
 }
 
 // defaultParallelism holds the package-wide default worker count; 0 means
@@ -69,11 +83,16 @@ func ResolveParallelism(n int) int {
 }
 
 func resolveOptions(opts []Option) int {
+	return resolveConfig(opts).workers
+}
+
+func resolveConfig(opts []Option) solveConfig {
 	var c solveConfig
 	for _, o := range opts {
 		o(&c)
 	}
-	return ResolveParallelism(c.workers)
+	c.workers = ResolveParallelism(c.workers)
+	return c
 }
 
 // ParallelSearch extends Search with sharded candidate scans. A Search
@@ -90,6 +109,35 @@ type ParallelSearch interface {
 	// one sharded pass. Like GainsAdd, the slice is scratch owned by the
 	// Search: valid until the next call, not to be retained or modified.
 	SigmaDrops() []int
+}
+
+// ScanTimer is implemented by searches that can time their sharded
+// candidate scans for telemetry. Timing is off by default — recording costs
+// two monotonic clock reads per shard per scan, so solvers enable it only
+// when a trace sink is attached.
+type ScanTimer interface {
+	// EnableScanTiming turns per-shard timing of GainsAdd scans on or off.
+	EnableScanTiming(on bool)
+	// LastScanShards reports the fastest and slowest per-shard wall time of
+	// the most recent timed gains scan and its shard count; zeros when no
+	// timed scan has run.
+	LastScanShards() (minNS, maxNS int64, shards int)
+}
+
+// enableScanTiming turns scan timing on when the search supports it.
+func enableScanTiming(s Search) {
+	if st, ok := s.(ScanTimer); ok {
+		st.EnableScanTiming(true)
+	}
+}
+
+// lastScanShards reads the most recent timed scan's shard extrema, or zeros
+// for searches without timing support.
+func lastScanShards(s Search) (minNS, maxNS int64, shards int) {
+	if st, ok := s.(ScanTimer); ok {
+		return st.LastScanShards()
+	}
+	return 0, 0, 0
 }
 
 // setSearchWorkers applies a worker count when the search supports sharded

@@ -1,6 +1,11 @@
 package core
 
-import "math"
+import (
+	"math"
+	"time"
+
+	"msc/internal/telemetry"
+)
 
 // SandwichResult reports the approximation algorithm AA of §V-B: the best
 // of three greedy arms together with the data-dependent approximation
@@ -26,21 +31,28 @@ type SandwichResult struct {
 //
 //	σ(F_app) ≥ (σ(F_σ)/ν(F_σ)) · (1 − 1/e) · σ(F*).
 //
-// Options (e.g. Parallelism) are forwarded to the F_σ arm, whose candidate
-// scans dominate the run; the μ/ν arms run on the lazy-greedy coverage
-// solver, which is already cheap.
+// Options (e.g. Parallelism, WithSink) are forwarded to the F_σ arm, whose
+// candidate scans dominate the run; the μ/ν arms run on the lazy-greedy
+// coverage solver, which is already cheap. With a sink attached, the F_σ arm
+// emits its per-round trace and Sandwich itself emits one closing
+// SandwichEvent summarizing the three arms and the bound.
 func Sandwich(p Problem, opts ...Option) SandwichResult {
+	cfg := resolveConfig(opts)
+	start := time.Now()
 	res := SandwichResult{
 		FMu:    GreedyMu(p),
 		FSigma: GreedySigma(p, opts...),
 		FNu:    GreedyNu(p),
 	}
 	res.Best = res.FMu
+	best := "mu"
 	if res.FSigma.Sigma > res.Best.Sigma {
 		res.Best = res.FSigma
+		best = "sigma"
 	}
 	if res.FNu.Sigma > res.Best.Sigma {
 		res.Best = res.FNu
+		best = "nu"
 	}
 	res.NuAtFSigma = p.Nu(res.FSigma.Selection)
 	if res.NuAtFSigma > 0 {
@@ -49,5 +61,18 @@ func Sandwich(p Problem, opts ...Option) SandwichResult {
 		res.Ratio = 1 // ν ≥ σ ≥ 0; ν == 0 forces σ == 0 too
 	}
 	res.ApproxFactor = res.Ratio * (1 - 1/math.E)
+	if cfg.sink != nil {
+		cfg.sink.Emit(telemetry.SandwichEvent{
+			SigmaMu:      res.FMu.Sigma,
+			SigmaSigma:   res.FSigma.Sigma,
+			SigmaNu:      res.FNu.Sigma,
+			Best:         best,
+			Sigma:        res.Best.Sigma,
+			Ratio:        res.Ratio,
+			ApproxFactor: res.ApproxFactor,
+			NuAtFSigma:   res.NuAtFSigma,
+			ElapsedNS:    time.Since(start).Nanoseconds(),
+		})
+	}
 	return res
 }

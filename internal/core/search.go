@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"msc/internal/graph"
 	"msc/internal/shortestpath"
+	"msc/internal/telemetry"
 )
 
 // instSearch is the incremental σ evaluator for a single-topology Instance.
@@ -44,9 +47,20 @@ type instSearch struct {
 	unsat     []int          // scratch: unsatisfied pair indices
 	drops     []int          // scratch for SigmaDrops
 	sigma     int
+
+	// Scan-timing telemetry (ScanTimer); off unless a trace sink asked for
+	// it, so the default gains scan never reads the clock.
+	timeScan   bool
+	shardNS    []int64 // scratch: per-shard wall time of the last timed scan
+	scanMinNS  int64
+	scanMaxNS  int64
+	scanShards int
 }
 
-var _ ParallelSearch = (*instSearch)(nil)
+var (
+	_ ParallelSearch = (*instSearch)(nil)
+	_ ScanTimer      = (*instSearch)(nil)
+)
 
 // NewSearch returns an incremental evaluator positioned at sel (copied).
 func (inst *Instance) NewSearch(sel []int) Search {
@@ -80,6 +94,28 @@ func (inst *Instance) NewSearch(sel []int) Search {
 // serial, n <= 0 resolves via ResolveParallelism.
 func (s *instSearch) SetWorkers(n int) { s.workers = ResolveParallelism(n) }
 
+// EnableScanTiming implements ScanTimer.
+func (s *instSearch) EnableScanTiming(on bool) { s.timeScan = on }
+
+// LastScanShards implements ScanTimer.
+func (s *instSearch) LastScanShards() (minNS, maxNS int64, shards int) {
+	return s.scanMinNS, s.scanMaxNS, s.scanShards
+}
+
+// recordScanShards reduces the per-shard wall times in s.shardNS[:shards].
+func (s *instSearch) recordScanShards(shards int) {
+	minNS, maxNS := s.shardNS[0], s.shardNS[0]
+	for _, ns := range s.shardNS[1:shards] {
+		if ns < minNS {
+			minNS = ns
+		}
+		if ns > maxNS {
+			maxNS = ns
+		}
+	}
+	s.scanMinNS, s.scanMaxNS, s.scanShards = minNS, maxNS, shards
+}
+
 func (s *instSearch) rebuild() {
 	ov := shortestpath.NewOverlay(s.inst.table, SelectionEdges(s.inst, s.sel))
 	shortestpath.NewEvaluator(ov, s.workers).DistRows(s.endpoints, s.rows)
@@ -109,6 +145,7 @@ func (s *instSearch) Contains(cand int) bool {
 }
 
 func (s *instSearch) GainAdd(cand int) int {
+	telemetry.Global().CandidateEvals.Add(1)
 	e := s.inst.CandidateEdge(cand)
 	a, b := e.U, e.V
 	dt := s.inst.thr.D
@@ -161,6 +198,10 @@ func (s *instSearch) GainsAdd() []int {
 			s.gains[i] = 0
 		}
 	}
+	// One atomic add for the whole scan: the count is the logical scan
+	// width, identical for every worker count, and the inner loops stay
+	// untouched.
+	telemetry.Global().CandidateEvals.Add(int64(s.inst.numCand))
 	dt := s.inst.thr.D
 	if s.workers > 1 {
 		s.unsat = s.unsat[:0]
@@ -170,10 +211,27 @@ func (s *instSearch) GainsAdd() []int {
 			}
 		}
 		bounds := triRowBounds(t, s.workers)
-		ParallelFor(len(bounds)-1, len(bounds)-1, func(shard, _, _ int) {
+		shards := len(bounds) - 1
+		if !s.timeScan {
+			ParallelFor(shards, shards, func(shard, _, _ int) {
+				s.gainsRows(bounds[shard], bounds[shard+1])
+			})
+			return s.gains
+		}
+		if cap(s.shardNS) < shards {
+			s.shardNS = make([]int64, shards)
+		}
+		ParallelFor(shards, shards, func(shard, _, _ int) {
+			start := time.Now()
 			s.gainsRows(bounds[shard], bounds[shard+1])
+			s.shardNS[shard] = time.Since(start).Nanoseconds()
 		})
+		s.recordScanShards(shards)
 		return s.gains
+	}
+	var start time.Time
+	if s.timeScan {
+		start = time.Now()
 	}
 	for i := range s.pairDist {
 		if s.pairDist[i] <= dt {
@@ -195,6 +253,10 @@ func (s *instSearch) GainsAdd() []int {
 				idx++
 			}
 		}
+	}
+	if s.timeScan {
+		ns := time.Since(start).Nanoseconds()
+		s.scanMinNS, s.scanMaxNS, s.scanShards = ns, ns, 1
 	}
 	return s.gains
 }

@@ -14,11 +14,13 @@ package dynamic
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"msc/internal/bitset"
 	"msc/internal/core"
 	"msc/internal/graph"
 	"msc/internal/maxcover"
+	"msc/internal/telemetry"
 )
 
 // Errors returned by NewProblem.
@@ -34,6 +36,7 @@ type Problem struct {
 	insts []*core.Instance
 	n     int
 	k     int
+	sink  telemetry.Sink
 }
 
 var (
@@ -59,6 +62,12 @@ func NewProblem(insts []*core.Instance) (*Problem, error) {
 	}
 	return &Problem{insts: insts, n: n, k: k}, nil
 }
+
+// SetSink attaches a telemetry sink: every search derived from the problem
+// afterwards emits one DynamicStepEvent per committed shortcut, carrying the
+// per-time-instance σ split. A nil sink (the default) emits nothing; the
+// solver path is identical either way.
+func (p *Problem) SetSink(s telemetry.Sink) { p.sink = s }
 
 // T returns the number of time instances.
 func (p *Problem) T() int { return len(p.insts) }
@@ -91,8 +100,10 @@ func (p *Problem) MaxSigma() int {
 	return total
 }
 
-// Sigma returns Σ_i σ_i(sel).
+// Sigma returns Σ_i σ_i(sel). The dynamic-level evaluation counts as one
+// SigmaEval on top of the T per-instance evaluations it triggers.
 func (p *Problem) Sigma(sel []int) int {
+	telemetry.Global().SigmaEvals.Add(1)
 	total := 0
 	for _, inst := range p.insts {
 		total += inst.Sigma(sel)
@@ -108,6 +119,10 @@ func (p *Problem) SigmaPar(sel []int, workers int) int {
 	if workers <= 1 || len(p.insts) == 1 {
 		return p.Sigma(sel)
 	}
+	// Counted symmetrically with the delegating branch above: one
+	// dynamic-level eval plus T per-instance evals, so totals match at
+	// every worker count.
+	telemetry.Global().SigmaEvals.Add(1)
 	totals := make([]int, len(p.insts))
 	core.ParallelFor(workers, len(p.insts), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -239,7 +254,7 @@ func (p *Problem) NewSearch(sel []int) core.Search {
 	for i, inst := range p.insts {
 		subs[i] = inst.NewSearch(sel)
 	}
-	return &multiSearch{prob: p, subs: subs, sel: append([]int(nil), sel...), workers: 1}
+	return &multiSearch{prob: p, subs: subs, sel: append([]int(nil), sel...), workers: 1, sink: p.sink}
 }
 
 // multiSearch fans Search operations out to per-instance searches. With
@@ -251,12 +266,36 @@ type multiSearch struct {
 	prob    *Problem
 	subs    []core.Search
 	sel     []int
-	workers int   // shard count for scans; 1 = serial
-	gains   []int // scratch for GainsAdd
-	drops   []int // scratch for SigmaDrops
+	workers int            // shard count for scans; 1 = serial
+	gains   []int          // scratch for GainsAdd
+	drops   []int          // scratch for SigmaDrops
+	sink    telemetry.Sink // emits DynamicStepEvents on Add when non-nil
+
+	// Scan timing (core.ScanTimer): per-time-instance wall time of the
+	// GainsAdd fan-out, enabled only when a sink is attached upstream.
+	timeScan   bool
+	instNS     []int64
+	scanMinNS  int64
+	scanMaxNS  int64
+	scanShards int
 }
 
-var _ core.ParallelSearch = (*multiSearch)(nil)
+var (
+	_ core.ParallelSearch = (*multiSearch)(nil)
+	_ core.ScanTimer      = (*multiSearch)(nil)
+)
+
+// EnableScanTiming turns on per-instance wall-time capture for subsequent
+// GainsAdd scans (core.ScanTimer).
+func (s *multiSearch) EnableScanTiming(on bool) { s.timeScan = on }
+
+// LastScanShards reports the per-instance wall-time extrema of the most
+// recent GainsAdd fan-out; here a "shard" is one time instance, so the
+// spread exposes imbalance across topologies rather than across candidate
+// blocks.
+func (s *multiSearch) LastScanShards() (minNS, maxNS int64, shards int) {
+	return s.scanMinNS, s.scanMaxNS, s.scanShards
+}
 
 // SetWorkers fixes the shard count for subsequent scans. Workers are spent
 // across time instances first; any surplus is pushed down into the
@@ -318,11 +357,32 @@ func (s *multiSearch) GainsAdd() []int {
 		}
 	}
 	subGains := make([][]int, len(s.subs))
+	if s.timeScan && cap(s.instNS) < len(s.subs) {
+		s.instNS = make([]int64, len(s.subs))
+	}
 	core.ParallelFor(s.workers, len(s.subs), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if s.timeScan {
+				start := time.Now()
+				subGains[i] = s.subs[i].GainsAdd()
+				s.instNS[i] = time.Since(start).Nanoseconds()
+				continue
+			}
 			subGains[i] = s.subs[i].GainsAdd()
 		}
 	})
+	if s.timeScan {
+		s.scanShards = len(s.subs)
+		s.scanMinNS, s.scanMaxNS = s.instNS[0], s.instNS[0]
+		for _, ns := range s.instNS[1:len(s.subs)] {
+			if ns < s.scanMinNS {
+				s.scanMinNS = ns
+			}
+			if ns > s.scanMaxNS {
+				s.scanMaxNS = ns
+			}
+		}
+	}
 	for _, gains := range subGains {
 		for c, g := range gains {
 			s.gains[c] += g
@@ -403,6 +463,21 @@ func (s *multiSearch) Add(cand int) {
 	s.sel = append(s.sel, cand)
 	for _, sub := range s.subs {
 		sub.Add(cand)
+	}
+	if s.sink != nil {
+		e := s.prob.CandidateEdge(cand)
+		per := make([]int, len(s.subs))
+		total := 0
+		for i, sub := range s.subs {
+			per[i] = sub.Sigma()
+			total += per[i]
+		}
+		s.sink.Emit(telemetry.DynamicStepEvent{
+			Shortcut:         [2]int32{int32(e.U), int32(e.V)},
+			Selected:         len(s.sel),
+			PerInstanceSigma: per,
+			Sigma:            total,
+		})
 	}
 }
 

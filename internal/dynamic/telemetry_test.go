@@ -1,0 +1,82 @@
+package dynamic
+
+import (
+	"sync"
+	"testing"
+
+	"msc/internal/core"
+	"msc/internal/telemetry"
+)
+
+type memSink struct {
+	mu     sync.Mutex
+	events []telemetry.Event
+}
+
+func (s *memSink) Emit(e telemetry.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// TestDynamicStepEvents checks the dynamic problem's trace contract: with
+// a sink attached, every committed shortcut emits one DynamicStepEvent
+// whose per-time-instance σ split sums to the total and matches a direct
+// per-instance evaluation of the selection so far.
+func TestDynamicStepEvents(t *testing.T) {
+	insts := seriesInstances(t, 16, 6, 3, 3, 0.8, 401)
+	p, err := NewProblem(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &memSink{}
+	p.SetSink(sink)
+
+	pl := core.GreedySigma(p)
+	var steps []telemetry.DynamicStepEvent
+	for _, e := range sink.events {
+		if s, ok := e.(telemetry.DynamicStepEvent); ok {
+			steps = append(steps, s)
+		}
+	}
+	if len(steps) != len(pl.Selection) {
+		t.Fatalf("%d step events for %d committed shortcuts", len(steps), len(pl.Selection))
+	}
+	for i, ev := range steps {
+		if ev.Selected != i+1 {
+			t.Fatalf("step %d selected %d", i, ev.Selected)
+		}
+		if len(ev.PerInstanceSigma) != p.T() {
+			t.Fatalf("step %d has %d per-instance σ values for T=%d", i, len(ev.PerInstanceSigma), p.T())
+		}
+		sel := pl.Selection[:i+1]
+		total := 0
+		for j, inst := range insts {
+			want := inst.Sigma(sel)
+			if ev.PerInstanceSigma[j] != want {
+				t.Fatalf("step %d instance %d σ %d, oracle %d", i, j, ev.PerInstanceSigma[j], want)
+			}
+			total += want
+		}
+		if ev.Sigma != total {
+			t.Fatalf("step %d total σ %d, sum %d", i, ev.Sigma, total)
+		}
+		e := p.CandidateEdge(sel[i])
+		if ev.Shortcut != [2]int32{int32(e.U), int32(e.V)} {
+			t.Fatalf("step %d shortcut %v, selection edge %v", i, ev.Shortcut, e)
+		}
+	}
+	if len(steps) > 0 && steps[len(steps)-1].Sigma != pl.Sigma {
+		t.Fatalf("final step σ %d, placement σ %d", steps[len(steps)-1].Sigma, pl.Sigma)
+	}
+
+	// Detached sink: identical placement.
+	p2, err := NewProblem(seriesInstances(t, 16, 6, 3, 3, 0.8, 401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := core.GreedySigma(p2)
+	if plain.Sigma != pl.Sigma || len(plain.Selection) != len(pl.Selection) {
+		t.Fatalf("placement differs with sink: σ %d vs %d", plain.Sigma, pl.Sigma)
+	}
+}

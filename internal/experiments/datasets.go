@@ -10,6 +10,7 @@ import (
 	"msc/internal/graph"
 	"msc/internal/pairs"
 	"msc/internal/shortestpath"
+	"msc/internal/telemetry"
 	"msc/internal/xrand"
 )
 
@@ -21,6 +22,10 @@ type Config struct {
 	// suite runs in seconds — used by tests; benchmarks and cmd/mscbench
 	// use the paper-scale defaults.
 	Quick bool
+	// Sink, when non-nil, receives a telemetry RunRecord per solver run an
+	// experiment performs (currently the Table I/II grid cells). Results
+	// are identical with and without a sink.
+	Sink telemetry.Sink
 }
 
 func (c Config) rng(stream int64) *xrand.Rand {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"msc/internal/core"
 	"msc/internal/dynamic"
@@ -11,6 +12,7 @@ import (
 	"msc/internal/netbuild"
 	"msc/internal/pairs"
 	"msc/internal/shortestpath"
+	"msc/internal/telemetry"
 	"msc/internal/viz"
 )
 
@@ -66,11 +68,34 @@ func (c Config) ratioTable(id, title string, ds dataset, ks []int, pts []float64
 			if err != nil {
 				panic(fmt.Sprintf("experiments: %s instance: %v", id, err))
 			}
+			var before telemetry.CounterSnapshot
+			var start time.Time
+			if c.Sink != nil {
+				before = telemetry.Global().Snapshot()
+				start = time.Now()
+			}
 			fSigma := core.GreedySigma(inst)
 			nu := inst.Nu(fSigma.Selection)
 			ratio := 1.0
 			if nu > 0 {
 				ratio = float64(fSigma.Sigma) / nu
+			}
+			if c.Sink != nil {
+				c.Sink.Emit(telemetry.RunRecord{
+					Name:       fmt.Sprintf("%s k=%d pt=%.2f", id, k, pt),
+					Algorithm:  "greedy_sigma",
+					Seed:       c.Seed,
+					Quick:      c.Quick,
+					N:          inst.N(),
+					Pairs:      ps.Len(),
+					Candidates: inst.NumCandidates(),
+					K:          k,
+					Pt:         pt,
+					Sigma:      fSigma.Sigma,
+					MaxSigma:   inst.MaxSigma(),
+					WallMS:     float64(time.Since(start).Nanoseconds()) / 1e6,
+					Counters:   telemetry.Global().Snapshot().Sub(before),
+				})
 			}
 			row.Cells = append(row.Cells, ratio)
 		}

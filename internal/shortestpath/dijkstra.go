@@ -13,6 +13,7 @@ import (
 
 	"msc/internal/graph"
 	"msc/internal/indexheap"
+	"msc/internal/telemetry"
 )
 
 // Inf is the distance reported for unreachable nodes.
@@ -52,6 +53,15 @@ func BoundedDijkstra(g *graph.Graph, src graph.NodeID, maxDist float64) []float6
 // (pre-filled with +Inf), stopping once the frontier exceeds bound. If
 // parent is non-nil it is filled with shortest-path predecessors.
 func dijkstraInto(g *graph.Graph, src graph.NodeID, bound float64, dist []float64, parent []graph.NodeID) {
+	// Relaxations tally into a local; one atomic flush per run keeps the
+	// hot loop free of shared writes while the per-run totals (and thus
+	// any sum of runs) stay deterministic at every worker count.
+	relaxed := int64(0)
+	defer func() {
+		c := telemetry.Global()
+		c.DijkstraRuns.Add(1)
+		c.EdgeRelaxations.Add(relaxed)
+	}()
 	h := indexheap.New(g.N())
 	dist[src] = 0
 	h.Push(int(src), 0)
@@ -70,6 +80,7 @@ func dijkstraInto(g *graph.Graph, src graph.NodeID, bound float64, dist []float6
 		for _, a := range g.Neighbors(graph.NodeID(u)) {
 			if nd := du + a.Length; nd < dist[a.To] {
 				dist[a.To] = nd
+				relaxed++
 				if parent != nil {
 					parent[a.To] = graph.NodeID(u)
 				}

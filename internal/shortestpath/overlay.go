@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"msc/internal/graph"
+	"msc/internal/telemetry"
 )
 
 // Overlay answers shortest-path queries in the augmented graph G ∪ F, where
@@ -36,6 +37,7 @@ type Overlay struct {
 // reliable links, §III-C). An empty shortcut set yields an oracle that
 // simply forwards to the table.
 func NewOverlay(table *Table, shortcuts []graph.Edge) *Overlay {
+	telemetry.Global().OverlayBuilds.Add(1)
 	o := &Overlay{table: table}
 	if len(shortcuts) == 0 {
 		return o
@@ -92,6 +94,7 @@ func NewOverlay(table *Table, shortcuts []graph.Edge) *Overlay {
 
 // Dist returns the shortest-path distance between u and w in G ∪ F.
 func (o *Overlay) Dist(u, w graph.NodeID) float64 {
+	telemetry.Global().OverlayQueries.Add(1)
 	best := o.table.Dist(u, w)
 	t := len(o.endpoints)
 	if t == 0 {
@@ -122,6 +125,7 @@ func (o *Overlay) Endpoints() []graph.NodeID { return o.endpoints }
 // in O(k² + n·k) — one pass over the terminal graph plus one pass over each
 // terminal's base distance row. len(out) must equal the node count.
 func (o *Overlay) DistRow(u graph.NodeID, out []float64) {
+	telemetry.Global().OverlayRows.Add(1)
 	du := o.table.Row(u)
 	if len(out) != len(du) {
 		panic("shortestpath: DistRow output length mismatch")

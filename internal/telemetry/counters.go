@@ -1,0 +1,103 @@
+package telemetry
+
+import "sync/atomic"
+
+// Counters is a set of monotonically increasing work counters. All fields
+// are atomics so independent shards and goroutines may add concurrently;
+// because every instrumented site adds the full logical amount of work for
+// a (deterministic) unit — one scan, one evaluation, one Dijkstra run —
+// totals are independent of worker count and interleaving.
+type Counters struct {
+	// DijkstraRuns counts single-source shortest-path computations.
+	DijkstraRuns atomic.Int64
+	// EdgeRelaxations counts successful distance updates inside Dijkstra
+	// (accumulated locally per run, flushed once at the end).
+	EdgeRelaxations atomic.Int64
+	// CandidateEvals counts candidate-shortcut gain evaluations: a full
+	// GainsAdd scan adds the candidate-universe size, a single GainAdd
+	// adds one.
+	CandidateEvals atomic.Int64
+	// SigmaEvals counts σ oracle evaluations (Sigma/SigmaPar calls).
+	SigmaEvals atomic.Int64
+	// MuEvals counts μ lower-bound evaluations.
+	MuEvals atomic.Int64
+	// NuEvals counts ν upper-bound evaluations.
+	NuEvals atomic.Int64
+	// OverlayBuilds counts shortcut-overlay oracle constructions.
+	OverlayBuilds atomic.Int64
+	// OverlayQueries counts point distance queries against an overlay.
+	OverlayQueries atomic.Int64
+	// OverlayRows counts full distance-row queries against an overlay.
+	OverlayRows atomic.Int64
+}
+
+// global is the process-wide counter set every instrumented package feeds.
+var global Counters
+
+// Global returns the process-wide counters. The solver stack adds to them
+// unconditionally (the per-evaluation atomic add is noise next to the work
+// it counts); consumers snapshot before and after a region of interest and
+// diff.
+func Global() *Counters { return &global }
+
+// CounterSnapshot is a plain-integer copy of a Counters state with a
+// stable JSON schema: every field is always present, so run records can be
+// diffed and aggregated by machines.
+type CounterSnapshot struct {
+	DijkstraRuns    int64 `json:"dijkstra_runs"`
+	EdgeRelaxations int64 `json:"edge_relaxations"`
+	CandidateEvals  int64 `json:"candidate_evals"`
+	SigmaEvals      int64 `json:"sigma_evals"`
+	MuEvals         int64 `json:"mu_evals"`
+	NuEvals         int64 `json:"nu_evals"`
+	OverlayBuilds   int64 `json:"overlay_builds"`
+	OverlayQueries  int64 `json:"overlay_queries"`
+	OverlayRows     int64 `json:"overlay_rows"`
+}
+
+// Snapshot reads all counters. Each field is read atomically; the snapshot
+// as a whole is consistent when taken at a quiescent point (between runs),
+// which is how the cmds and tests use it.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		DijkstraRuns:    c.DijkstraRuns.Load(),
+		EdgeRelaxations: c.EdgeRelaxations.Load(),
+		CandidateEvals:  c.CandidateEvals.Load(),
+		SigmaEvals:      c.SigmaEvals.Load(),
+		MuEvals:         c.MuEvals.Load(),
+		NuEvals:         c.NuEvals.Load(),
+		OverlayBuilds:   c.OverlayBuilds.Load(),
+		OverlayQueries:  c.OverlayQueries.Load(),
+		OverlayRows:     c.OverlayRows.Load(),
+	}
+}
+
+// Reset zeroes all counters. Intended for tests and for CLI runs that want
+// per-run totals without diffing.
+func (c *Counters) Reset() {
+	c.DijkstraRuns.Store(0)
+	c.EdgeRelaxations.Store(0)
+	c.CandidateEvals.Store(0)
+	c.SigmaEvals.Store(0)
+	c.MuEvals.Store(0)
+	c.NuEvals.Store(0)
+	c.OverlayBuilds.Store(0)
+	c.OverlayQueries.Store(0)
+	c.OverlayRows.Store(0)
+}
+
+// Sub returns the field-wise difference s − prev: the work performed
+// between two snapshots.
+func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		DijkstraRuns:    s.DijkstraRuns - prev.DijkstraRuns,
+		EdgeRelaxations: s.EdgeRelaxations - prev.EdgeRelaxations,
+		CandidateEvals:  s.CandidateEvals - prev.CandidateEvals,
+		SigmaEvals:      s.SigmaEvals - prev.SigmaEvals,
+		MuEvals:         s.MuEvals - prev.MuEvals,
+		NuEvals:         s.NuEvals - prev.NuEvals,
+		OverlayBuilds:   s.OverlayBuilds - prev.OverlayBuilds,
+		OverlayQueries:  s.OverlayQueries - prev.OverlayQueries,
+		OverlayRows:     s.OverlayRows - prev.OverlayRows,
+	}
+}

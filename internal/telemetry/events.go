@@ -1,0 +1,126 @@
+package telemetry
+
+// Event is a typed telemetry payload. EventKind returns the stable "event"
+// discriminator value the JSONL encoding leads with; the set of kinds is
+// part of the run-record schema consumed by CI and BENCH aggregation.
+type Event interface {
+	EventKind() string
+}
+
+// RoundEvent traces one round of an iterative placement algorithm: one
+// greedy round of GreedySigma, one iteration of EA/AEA, one swap of
+// LocalSearch. σ/μ/ν values let a trace reconstruct the sandwich-bound
+// trajectory; the per-shard wall-clock extrema expose load imbalance in
+// the parallel candidate scans.
+type RoundEvent struct {
+	// Algorithm identifies the emitter: "greedy_sigma", "ea", "aea",
+	// "local_search".
+	Algorithm string `json:"algorithm"`
+	// Round is the 0-based round (or iteration) index.
+	Round int `json:"round"`
+	// Shortcut is the edge chosen this round (endpoint node ids), nil when
+	// the round chose none (e.g. a rejected EA offspring).
+	Shortcut *[2]int32 `json:"shortcut,omitempty"`
+	// Gain is the σ improvement over the state the round started from.
+	Gain int `json:"gain"`
+	// Sigma is σ of the algorithm's incumbent after the round.
+	Sigma int `json:"sigma"`
+	// Selected is the incumbent selection size after the round.
+	Selected int `json:"selected"`
+	// Candidates is the number of candidate evaluations this round scanned
+	// (0 for rounds that evaluate whole selections instead).
+	Candidates int `json:"candidates"`
+	// Mu and Nu are the sandwich bounds of the incumbent selection, when
+	// the emitter computes them (GreedySigma rounds); both 0 otherwise.
+	Mu float64 `json:"mu"`
+	Nu float64 `json:"nu"`
+	// ElapsedNS is the wall-clock time of the round.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// ShardMinNS/ShardMaxNS are the fastest and slowest per-shard wall
+	// times of the round's sharded candidate scan, and Shards the shard
+	// count; all 0 when the round ran no instrumented scan.
+	ShardMinNS int64 `json:"shard_min_ns"`
+	ShardMaxNS int64 `json:"shard_max_ns"`
+	Shards     int   `json:"shards"`
+}
+
+// EventKind implements Event.
+func (RoundEvent) EventKind() string { return "round" }
+
+// SandwichEvent summarizes a Sandwich (approximation algorithm AA) run:
+// the three greedy arms, the winner, and the data-dependent bound.
+type SandwichEvent struct {
+	// SigmaMu, SigmaSigma, SigmaNu are σ of the three greedy arms.
+	SigmaMu    int `json:"sigma_mu"`
+	SigmaSigma int `json:"sigma_sigma"`
+	SigmaNu    int `json:"sigma_nu"`
+	// Best names the winning arm: "mu", "sigma", or "nu".
+	Best string `json:"best"`
+	// Sigma is σ of the winning placement.
+	Sigma int `json:"sigma"`
+	// Ratio is σ(F_σ)/ν(F_σ) and ApproxFactor is Ratio·(1−1/e) — the
+	// computable guarantee of Eq. (5).
+	Ratio        float64 `json:"ratio"`
+	ApproxFactor float64 `json:"approx_factor"`
+	NuAtFSigma   float64 `json:"nu_at_f_sigma"`
+	// ElapsedNS is the wall-clock time of the whole sandwich run.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// EventKind implements Event.
+func (SandwichEvent) EventKind() string { return "sandwich" }
+
+// DynamicStepEvent is emitted by the dynamic problem each time a solver
+// commits a shortcut: the per-time-instance σ breakdown of the new
+// selection, exposing which time instances a shortcut serves.
+type DynamicStepEvent struct {
+	// Shortcut is the committed edge (endpoint node ids).
+	Shortcut [2]int32 `json:"shortcut"`
+	// Selected is the selection size after the commit.
+	Selected int `json:"selected"`
+	// PerInstanceSigma holds σ_i for each time instance.
+	PerInstanceSigma []int `json:"per_instance_sigma"`
+	// Sigma is Σ_i σ_i.
+	Sigma int `json:"sigma"`
+}
+
+// EventKind implements Event.
+func (DynamicStepEvent) EventKind() string { return "dynamic_step" }
+
+// RunRecord is the machine-readable record of one solver or experiment
+// run. The schema is stable: every field below is always present (ints
+// default to 0, Sigma to −1 when no single σ applies) so CI validation and
+// BENCH_*.json aggregation can rely on it.
+type RunRecord struct {
+	// Name identifies the run: an experiment id for mscbench ("table1"),
+	// the algorithm name for mscplace.
+	Name string `json:"name"`
+	// Algorithm is the placement algorithm, or "experiment" for whole
+	// mscbench experiment runs.
+	Algorithm string `json:"algorithm"`
+	// Seed is the random seed driving the run.
+	Seed int64 `json:"seed"`
+	// Workers is the resolved candidate-scan parallelism (0 = default).
+	Workers int `json:"workers"`
+	// Quick marks reduced-scale smoke runs.
+	Quick bool `json:"quick"`
+	// Instance shape: node count, important pairs, candidate-universe
+	// size, budget, threshold. Zero when the run spans many instances.
+	N          int     `json:"n"`
+	Pairs      int     `json:"pairs"`
+	Candidates int     `json:"candidates"`
+	K          int     `json:"k"`
+	Pt         float64 `json:"p_t"`
+	// Sigma is σ achieved and MaxSigma the achievable maximum; Sigma is −1
+	// when the run has no single σ (e.g. a whole experiment suite).
+	Sigma    int `json:"sigma"`
+	MaxSigma int `json:"max_sigma"`
+	// WallMS is the run's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Counters is the work performed by the run (snapshot difference of
+	// the global counters).
+	Counters CounterSnapshot `json:"counters"`
+}
+
+// EventKind implements Event.
+func (RunRecord) EventKind() string { return "run" }

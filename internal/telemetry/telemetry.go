@@ -1,0 +1,119 @@
+// Package telemetry is the solver's observability layer: cheap always-on
+// counters, typed per-round trace events, and machine-readable run records.
+//
+// It is deliberately stdlib-only and dependency-free so every layer of the
+// solver stack (shortestpath, core, dynamic, experiments, the cmds) can
+// import it without cycles.
+//
+// # Counters
+//
+// Counters tally the units of solver work — Dijkstra runs, edge
+// relaxations, candidate evaluations, σ/μ/ν oracle calls, overlay queries.
+// They are accumulated per logical unit of work (one atomic add per scan or
+// evaluation, with per-shard local tallies flushed once), never per inner
+// loop iteration, so they cost a handful of nanoseconds per evaluation and
+// nothing at all on the candidate-scan hot loops. Because each counter
+// counts logical work — which the parallel engine's determinism contract
+// keeps identical across worker counts — totals are deterministic at any
+// parallelism: a run at -par 1 and -par 8 reports the same numbers.
+//
+// # Events and sinks
+//
+// A Sink receives typed events: per-round trace events from the placement
+// algorithms (RoundEvent, SandwichEvent, DynamicStepEvent) and end-of-run
+// records (RunRecord). Solvers hold a nil Sink by default and guard every
+// emission with a nil check, so detached telemetry costs zero allocations
+// and zero time on the hot path — the allocation tests in internal/core
+// lock that in.
+//
+// JSONLSink writes one JSON object per line with a stable schema: every
+// line carries an "event" discriminator field, and numeric fields are
+// always present (no omitempty on required fields) so downstream tooling
+// (CI validation, BENCH_*.json aggregation) can rely on them.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sink receives telemetry events. Implementations must be safe for
+// concurrent Emit calls: solvers may emit from the goroutine driving the
+// run while auxiliary emitters (e.g. the dynamic problem) fire from the
+// same call stack, and a single sink may be shared across sequential runs.
+//
+// A nil Sink means telemetry is off; every emitter nil-checks before
+// building an event, so disabled telemetry allocates nothing.
+type Sink interface {
+	Emit(e Event)
+}
+
+// JSONLSink writes events as JSON Lines: one object per event, an "event"
+// kind discriminator injected as the first field. It serializes concurrent
+// Emit calls with a mutex.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONL returns a sink writing JSON Lines to w.
+func NewJSONL(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w}
+}
+
+// Emit encodes the event as one JSON line. Encoding or write errors are
+// sticky and reported by Err; Emit itself never fails so solver code stays
+// branch-free.
+func (s *JSONLSink) Emit(e Event) {
+	line, err := EncodeEvent(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	line = append(line, '\n')
+	if _, err := s.w.Write(line); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first encoding or write error the sink hit, or nil.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// EncodeEvent marshals an event to its canonical one-line JSON form: the
+// struct's fields prefixed with an "event" discriminator holding
+// e.EventKind(). This is the schema every JSONL consumer parses.
+func EncodeEvent(e Event) ([]byte, error) {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := json.Marshal(e.EventKind())
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 2 || body[0] != '{' {
+		return nil, fmt.Errorf("telemetry: event %q did not marshal to a JSON object", e.EventKind())
+	}
+	out := make([]byte, 0, len(body)+len(kind)+len(`{"event":,`))
+	out = append(out, `{"event":`...)
+	out = append(out, kind...)
+	if len(body) > 2 { // non-empty object: splice the fields after the kind
+		out = append(out, ',')
+		out = append(out, body[1:]...)
+	} else {
+		out = append(out, '}')
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEncodeEventLeadsWithKind(t *testing.T) {
+	line, err := EncodeEvent(RoundEvent{Algorithm: "greedy_sigma", Round: 3, Gain: 2, Sigma: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(line, []byte(`{"event":"round",`)) {
+		t.Fatalf("line does not lead with the discriminator: %s", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatalf("line not valid JSON: %v\n%s", err, line)
+	}
+	if m["algorithm"] != "greedy_sigma" || m["round"] != float64(3) {
+		t.Fatalf("fields lost in encoding: %v", m)
+	}
+}
+
+func TestEncodeEventRequiredFieldsAlwaysPresent(t *testing.T) {
+	// Zero values must still carry every required numeric field — the
+	// schema promises "no omitempty on required fields".
+	for kind, req := range requiredKeys {
+		if len(req) == 0 {
+			t.Errorf("kind %q has no required fields", kind)
+		}
+	}
+	line, err := EncodeEvent(RunRecord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"name", "algorithm", "seed", "workers", "quick", "n", "pairs", "candidates", "k", "p_t", "sigma", "max_sigma", "wall_ms", "counters"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("zero RunRecord missing %q: %s", k, line)
+		}
+	}
+}
+
+func TestEncodeEventOmitsNilShortcut(t *testing.T) {
+	line, err := EncodeEvent(RoundEvent{Algorithm: "ea"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(line, []byte(`"shortcut"`)) {
+		t.Fatalf("nil shortcut should be omitted: %s", line)
+	}
+	sc := [2]int32{4, 9}
+	line, err = EncodeEvent(RoundEvent{Algorithm: "greedy_sigma", Shortcut: &sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(line, []byte(`"shortcut":[4,9]`)) {
+		t.Fatalf("shortcut not encoded: %s", line)
+	}
+}
+
+func TestJSONLSinkWritesOneLinePerEvent(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Emit(RoundEvent{Algorithm: "greedy_sigma", Round: 0})
+	s.Emit(SandwichEvent{Best: "sigma"})
+	s.Emit(RunRecord{Name: "x", Algorithm: "greedy_sigma"})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), buf.String())
+	}
+	counts, err := ValidateJSONL(&buf)
+	if err != nil {
+		t.Fatalf("emitted stream does not validate: %v", err)
+	}
+	if counts["round"] != 1 || counts["sandwich"] != 1 || counts["run"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	s := NewJSONL(&failWriter{n: 1})
+	s.Emit(RoundEvent{})
+	if err := s.Err(); err != nil {
+		t.Fatalf("first write should succeed: %v", err)
+	}
+	s.Emit(RoundEvent{})
+	if err := s.Err(); err == nil {
+		t.Fatal("second write should have failed")
+	}
+	s.Emit(RoundEvent{}) // must not panic, error stays
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error not sticky: %v", err)
+	}
+}
+
+func TestJSONLSinkConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Emit(RoundEvent{Algorithm: "greedy_sigma", Round: g*50 + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := ValidateJSONL(&buf)
+	if err != nil {
+		t.Fatalf("interleaved emits corrupted the stream: %v", err)
+	}
+	if counts["round"] != 400 {
+		t.Fatalf("want 400 round events, got %v", counts)
+	}
+}
+
+func TestCountersSnapshotSubReset(t *testing.T) {
+	var c Counters
+	c.DijkstraRuns.Add(5)
+	c.CandidateEvals.Add(100)
+	before := c.Snapshot()
+	c.DijkstraRuns.Add(2)
+	c.SigmaEvals.Add(7)
+	diff := c.Snapshot().Sub(before)
+	if diff.DijkstraRuns != 2 || diff.SigmaEvals != 7 || diff.CandidateEvals != 0 {
+		t.Fatalf("diff = %+v", diff)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s != (CounterSnapshot{}) {
+		t.Fatalf("reset left %+v", s)
+	}
+}
+
+func TestValidateJSONLRejects(t *testing.T) {
+	cases := []struct {
+		name, line, wantErr string
+	}{
+		{"garbage", "not json", "not a JSON object"},
+		{"no-discriminator", `{"round":1}`, "missing \"event\""},
+		{"unknown-kind", `{"event":"bogus"}`, "unknown event kind"},
+		{"missing-field", `{"event":"round","algorithm":"x"}`, "missing required field"},
+		{"bad-counters", func() string {
+			line, _ := EncodeEvent(RunRecord{})
+			return strings.Replace(string(line), `"dijkstra_runs":0,`, "", 1)
+		}(), "counters missing field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateJSONL(strings.NewReader(tc.line + "\n"))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestValidateJSONLAcceptsEveryKind(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	sc := [2]int32{1, 2}
+	events := []Event{
+		RoundEvent{Algorithm: "greedy_sigma", Shortcut: &sc},
+		SandwichEvent{Best: "mu"},
+		DynamicStepEvent{Shortcut: sc, PerInstanceSigma: []int{1, 2}},
+		RunRecord{Name: "r", Algorithm: "greedy_sigma"},
+	}
+	for _, e := range events {
+		s.Emit(e)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := ValidateJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if counts[e.EventKind()] != 1 {
+			t.Fatalf("kind %q not counted: %v", e.EventKind(), counts)
+		}
+	}
+	// Blank lines are tolerated; line numbering still points at the
+	// offender.
+	_, err = ValidateJSONL(strings.NewReader("\n\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-3 error, got %v", err)
+	}
+}
+
+func ExampleEncodeEvent() {
+	line, _ := EncodeEvent(DynamicStepEvent{
+		Shortcut:         [2]int32{3, 8},
+		Selected:         1,
+		PerInstanceSigma: []int{4, 5},
+		Sigma:            9,
+	})
+	fmt.Println(string(line))
+	// Output:
+	// {"event":"dynamic_step","shortcut":[3,8],"selected":1,"per_instance_sigma":[4,5],"sigma":9}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// requiredKeys maps each event kind to the field names its JSONL encoding
+// always carries. It is derived from the zero-value encoding of each event
+// type, so the validator can never drift from the schema: a field added to
+// an event struct (without omitempty) becomes required automatically.
+var requiredKeys = func() map[string][]string {
+	req := make(map[string][]string)
+	for _, e := range []Event{RoundEvent{}, SandwichEvent{}, DynamicStepEvent{}, RunRecord{}} {
+		line, err := EncodeEvent(e)
+		if err != nil {
+			panic(fmt.Sprintf("telemetry: zero-value %q does not encode: %v", e.EventKind(), err))
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(line, &m); err != nil {
+			panic(fmt.Sprintf("telemetry: zero-value %q encoding unparseable: %v", e.EventKind(), err))
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			if k == "event" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		req[e.EventKind()] = keys
+	}
+	return req
+}()
+
+// ValidateJSONL checks a JSON-Lines telemetry stream against the event
+// schema: every non-empty line must parse as a JSON object, carry an
+// "event" discriminator naming a known kind, and contain every field that
+// kind's schema requires. It returns the per-kind line counts; the first
+// violation aborts with an error naming the offending line number.
+//
+// CI runs this over the -jsonl output of mscbench (via `mscbench
+// -validate`) so BENCH aggregation can rely on the schema.
+func ValidateJSONL(r io.Reader) (counts map[string]int, err error) {
+	counts = make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(line, &m); err != nil {
+			return counts, fmt.Errorf("line %d: not a JSON object: %v", lineNo, err)
+		}
+		var kind string
+		if raw, ok := m["event"]; !ok {
+			return counts, fmt.Errorf("line %d: missing \"event\" discriminator", lineNo)
+		} else if err := json.Unmarshal(raw, &kind); err != nil {
+			return counts, fmt.Errorf("line %d: \"event\" is not a string: %v", lineNo, err)
+		}
+		req, ok := requiredKeys[kind]
+		if !ok {
+			return counts, fmt.Errorf("line %d: unknown event kind %q", lineNo, kind)
+		}
+		for _, k := range req {
+			if _, ok := m[k]; !ok {
+				return counts, fmt.Errorf("line %d: %s event missing required field %q", lineNo, kind, k)
+			}
+		}
+		if kind == (RunRecord{}).EventKind() {
+			if err := validateCounters(m["counters"]); err != nil {
+				return counts, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+		counts[kind]++
+	}
+	if err := sc.Err(); err != nil {
+		return counts, err
+	}
+	return counts, nil
+}
+
+// counterKeys are the required fields of a CounterSnapshot object, derived
+// the same way as requiredKeys.
+var counterKeys = func() []string {
+	body, err := json.Marshal(CounterSnapshot{})
+	if err != nil {
+		panic(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		panic(err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}()
+
+func validateCounters(raw json.RawMessage) error {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("run record \"counters\" is not an object: %v", err)
+	}
+	for _, k := range counterKeys {
+		if _, ok := m[k]; !ok {
+			return fmt.Errorf("run record counters missing field %q", k)
+		}
+	}
+	return nil
+}

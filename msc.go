@@ -49,12 +49,15 @@
 package msc
 
 import (
+	"io"
+
 	"msc/internal/core"
 	"msc/internal/dynamic"
 	"msc/internal/failprob"
 	"msc/internal/graph"
 	"msc/internal/pairs"
 	"msc/internal/shortestpath"
+	"msc/internal/telemetry"
 	"msc/internal/xrand"
 )
 
@@ -246,3 +249,45 @@ func GreedySigmaCurve(p Problem, opts ...Option) []int { return core.GreedySigma
 func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 	return core.LocalSearch(p, start, opts)
 }
+
+// Telemetry (see internal/telemetry and the DESIGN.md telemetry section):
+// work counters accumulated by the solver stack, and typed trace events
+// streamed to a sink. A nil sink is free; attaching one never changes any
+// placement.
+type (
+	// TelemetrySink receives trace events; nil means telemetry off.
+	TelemetrySink = telemetry.Sink
+	// TelemetryEvent is one typed trace event.
+	TelemetryEvent = telemetry.Event
+	// JSONLSink serializes events as one JSON object per line.
+	JSONLSink = telemetry.JSONLSink
+	// RoundEvent traces one committed solver round.
+	RoundEvent = telemetry.RoundEvent
+	// SandwichEvent summarizes the three sandwich arms and the bound.
+	SandwichEvent = telemetry.SandwichEvent
+	// DynamicStepEvent traces one committed shortcut on a dynamic problem.
+	DynamicStepEvent = telemetry.DynamicStepEvent
+	// RunRecord is the schema-stable end-of-run summary the commands emit.
+	RunRecord = telemetry.RunRecord
+	// CounterSnapshot is a point-in-time copy of the work counters.
+	CounterSnapshot = telemetry.CounterSnapshot
+)
+
+// NewJSONLSink returns a sink writing one JSON object per event line to w;
+// Emit is safe for concurrent use and the first write error is sticky
+// (check Err after the run).
+func NewJSONLSink(w io.Writer) *JSONLSink { return telemetry.NewJSONL(w) }
+
+// WithSink attaches a telemetry sink to a solver entry point; per-round
+// trace events stream to it. Placements are byte-identical with and
+// without a sink.
+func WithSink(s TelemetrySink) Option { return core.WithSink(s) }
+
+// CountersSnapshot copies the process-wide solver work counters (Dijkstra
+// runs, edge relaxations, candidate/σ/μ/ν evaluations, overlay activity).
+// Snapshot before and after a run and Sub the two to cost it; totals are
+// identical at every worker count.
+func CountersSnapshot() CounterSnapshot { return telemetry.Global().Snapshot() }
+
+// ResetCounters zeroes the process-wide solver work counters.
+func ResetCounters() { telemetry.Global().Reset() }
