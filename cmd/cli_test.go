@@ -4,12 +4,15 @@
 package cmd_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // runTool executes `go run ./cmd/<tool> args...` from the module root.
@@ -244,6 +247,171 @@ func TestMscbenchJSONLRoundTrip(t *testing.T) {
 	errOut := runToolErr(t, "mscbench", "-validate", bad)
 	if !strings.Contains(errOut, "missing required field") {
 		t.Fatalf("corrupt record not rejected:\n%s", errOut)
+	}
+}
+
+// buildTool compiles ./cmd/<tool> to a throwaway binary. Signal tests
+// need a real binary: `go run` interposes the toolchain between the test
+// and the tool, and does not reliably forward SIGINT.
+func buildTool(t *testing.T, dir, tool string) string {
+	t.Helper()
+	bin := filepath.Join(dir, tool)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", tool, err, out)
+	}
+	return bin
+}
+
+// TestMscplaceSIGINTGraceful: interrupting a long solver run must still
+// produce the best-so-far placement on stdout, exit 0, and flush a
+// schema-valid JSONL file whose run record says stop_reason "canceled".
+func TestMscplaceSIGINTGraceful(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	trace := filepath.Join(dir, "trace.jsonl")
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	runTool(t, "mscgen", "-kind", "rgg", "-n", "80", "-m", "15", "-pt", "0.12",
+		"-k", "4", "-seed", "21", "-out", inst)
+	bin := buildTool(t, dir, "mscplace")
+
+	cmd := exec.Command(bin, "-in", inst, "-alg", "ea", "-iters", "100000000",
+		"-jsonl", trace, "-checkpoint", ckpt, "-checkpoint-every", "1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the solver has demonstrably made progress (checkpoints
+	// are flushed per iteration), then interrupt it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st, err := os.Stat(ckpt); err == nil && st.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("no checkpoint appeared; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("mscplace exited non-zero after SIGINT: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("mscplace did not exit after SIGINT; stdout so far:\n%s", stdout.String())
+	}
+
+	out := stdout.String()
+	if !strings.Contains(out, "maintained:") {
+		t.Fatalf("no best-so-far placement on stdout:\n%s", out)
+	}
+	if !strings.Contains(out, "stopped:    canceled") {
+		t.Fatalf("stop reason not reported:\n%s", out)
+	}
+
+	// The JSONL file must be complete and valid despite the interrupt.
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotRun bool
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec struct {
+			Event      string `json:"event"`
+			StopReason string `json:"stop_reason"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line not valid JSON: %v\n%s", err, line)
+		}
+		if rec.Event == "run" {
+			gotRun = true
+			if rec.StopReason != "canceled" {
+				t.Fatalf("run record stop_reason = %q, want canceled", rec.StopReason)
+			}
+		}
+	}
+	if !gotRun {
+		t.Fatal("no run record flushed after SIGINT")
+	}
+	runTool(t, "mscbench", "-validate", trace)
+
+	// The interrupted run left a resumable checkpoint.
+	out = runTool(t, "mscplace", "-in", inst, "-alg", "ea", "-iters", "100000000",
+		"-resume", ckpt, "-deadline", "100ms")
+	if !strings.Contains(out, "maintained:") {
+		t.Fatalf("resume from interrupted run failed:\n%s", out)
+	}
+}
+
+// TestMscplaceDeadline: -deadline bounds the run and reports the reason.
+func TestMscplaceDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	trace := filepath.Join(dir, "trace.jsonl")
+	runTool(t, "mscgen", "-kind", "rgg", "-n", "60", "-m", "12", "-pt", "0.12",
+		"-k", "3", "-seed", "22", "-out", inst)
+	out := runTool(t, "mscplace", "-in", inst, "-alg", "aea", "-iters", "100000000",
+		"-deadline", "200ms", "-jsonl", trace)
+	if !strings.Contains(out, "stopped:    deadline") || !strings.Contains(out, "maintained:") {
+		t.Fatalf("deadline run output unexpected:\n%s", out)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"stop_reason":"deadline"`) {
+		t.Fatal("run record missing deadline stop reason")
+	}
+}
+
+// TestMscplaceCheckpointResumeCLI: a run split in two by -checkpoint /
+// -resume prints the same placement as the straight-through run.
+func TestMscplaceCheckpointResumeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	runTool(t, "mscgen", "-kind", "rgg", "-n", "50", "-m", "10", "-pt", "0.12",
+		"-k", "3", "-seed", "23", "-out", inst)
+
+	straight := runTool(t, "mscplace", "-in", inst, "-alg", "aea", "-iters", "60", "-seed", "4")
+	runTool(t, "mscplace", "-in", inst, "-alg", "aea", "-iters", "25", "-seed", "4",
+		"-checkpoint", ckpt)
+	resumed := runTool(t, "mscplace", "-in", inst, "-alg", "aea", "-iters", "60", "-seed", "4",
+		"-resume", ckpt)
+	if straight != resumed {
+		t.Fatalf("resumed output differs from straight run:\n--- straight:\n%s--- resumed:\n%s", straight, resumed)
+	}
+
+	// Mismatched algorithm and non-evolutionary algorithms are typed,
+	// early errors.
+	out := runToolErr(t, "mscplace", "-in", inst, "-alg", "ea", "-iters", "60", "-resume", ckpt)
+	if !strings.Contains(out, "aea") {
+		t.Fatalf("algorithm mismatch not named:\n%s", out)
+	}
+	out = runToolErr(t, "mscplace", "-in", inst, "-alg", "greedy", "-checkpoint", ckpt)
+	if !strings.Contains(out, "require -alg ea or aea") {
+		t.Fatalf("checkpoint with greedy not rejected:\n%s", out)
 	}
 }
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,12 +29,7 @@ import (
 	"msc/internal/viz"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "mscbench:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Run("mscbench", run) }
 
 // validIDs lists every runnable experiment, in suite order. "all" expands
 // to exactly this list.
@@ -65,7 +61,8 @@ func resolveIDs(exp string) ([]string, error) {
 	return ids, nil
 }
 
-func run() error {
+func run(ctx context.Context) error {
+	_ = ctx // suite experiments run to completion; records stay comparable
 	var (
 		exp      = flag.String("exp", "all", "experiment id(s), comma-separated: "+strings.Join(validIDs, "|")+"|all")
 		seed     = flag.Int64("seed", 1, "random seed (equal seeds reproduce runs exactly)")

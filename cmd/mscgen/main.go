@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -19,14 +20,10 @@ import (
 	"msc/internal/mobility"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "mscgen:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Run("mscgen", run) }
 
-func run() error {
+func run(ctx context.Context) error {
+	_ = ctx // generation is fast; no supervision points needed
 	var (
 		kind    = flag.String("kind", "rgg", "workload: rgg|social|mobility")
 		n       = flag.Int("n", 100, "node count (rgg, mobility)")

@@ -9,9 +9,16 @@
 //
 // The placement is printed one shortcut per line plus a σ summary, and
 // optionally written back as JSON with -out.
+//
+// Runs are supervised: -deadline bounds wall-clock time, SIGINT/SIGTERM
+// request a graceful stop, and in both cases the best placement found so
+// far is still printed (and recorded in -jsonl with its stop reason).
+// For the evolutionary algorithms, -checkpoint snapshots the run
+// periodically and -resume continues a checkpointed run bit-identically.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,12 +29,7 @@ import (
 	"msc/internal/cli"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "mscplace:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Run("mscplace", run) }
 
 type output struct {
 	Algorithm  string     `json:"algorithm"`
@@ -41,20 +43,24 @@ type output struct {
 	RatioBound float64 `json:"ratio_bound,omitempty"`
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
-		in      = flag.String("in", "", "instance JSON (required)")
-		alg     = flag.String("alg", "sandwich", "algorithm: sandwich|greedy|mu|nu|ea|aea|random|cn")
-		k       = flag.Int("k", 0, "override shortcut budget (default: instance's)")
-		pt      = flag.Float64("pt", 0, "override threshold p_t (default: instance's)")
-		iters   = flag.Int("iters", 500, "iterations r (ea, aea)")
-		seed    = flag.Int64("seed", 1, "random seed (ea, aea, random)")
-		outP    = flag.String("out", "", "also write the result as JSON to this path")
-		report  = flag.Bool("report", false, "print a per-pair diagnostic table")
-		refine  = flag.Bool("refine", false, "apply local-search swap refinement to the placement")
-		par     = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (placements are identical either way)")
-		jsonl   = flag.String("jsonl", "", "write per-round telemetry events and a run record as JSON lines to this file")
-		version = flag.Bool("version", false, "print version and exit")
+		in       = flag.String("in", "", "instance JSON (required)")
+		alg      = flag.String("alg", "sandwich", "algorithm: sandwich|greedy|mu|nu|ea|aea|random|cn")
+		k        = flag.Int("k", 0, "override shortcut budget (default: instance's)")
+		pt       = flag.Float64("pt", 0, "override threshold p_t (default: instance's)")
+		iters    = flag.Int("iters", 500, "iterations r (ea, aea)")
+		seed     = flag.Int64("seed", 1, "random seed (ea, aea, random)")
+		outP     = flag.String("out", "", "also write the result as JSON to this path")
+		report   = flag.Bool("report", false, "print a per-pair diagnostic table")
+		refine   = flag.Bool("refine", false, "apply local-search swap refinement to the placement")
+		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (placements are identical either way)")
+		jsonl    = flag.String("jsonl", "", "write per-round telemetry events and a run record as JSON lines to this file")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget for the solver; on expiry the best-so-far placement is emitted (0 = none)")
+		ckpt     = flag.String("checkpoint", "", "write resumable run snapshots as JSON lines to this file (ea, aea)")
+		ckptEach = flag.Int("checkpoint-every", 25, "snapshot cadence in iterations for -checkpoint (0 = final state only)")
+		resume   = flag.String("resume", "", "resume an ea/aea run from the last checkpoint in this file; -iters is the total budget")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -130,16 +136,59 @@ func run() error {
 	// A typed-nil sink must never reach an interface-typed option (it
 	// would defeat the solvers' nil fast path), so options are built only
 	// when tracing is on.
-	var solverOpts []msc.Option
-	eaOpts := msc.EAOptions{Iterations: *iters}
+	solverOpts := []msc.Option{msc.WithContext(ctx), msc.WithDeadline(*deadline)}
+	eaOpts := msc.EAOptions{Iterations: *iters, Context: ctx, Deadline: *deadline}
 	aeaOpts := msc.DefaultAEAOptions()
 	aeaOpts.Iterations = *iters
-	lsOpts := msc.LocalSearchOptions{}
+	aeaOpts.Context = ctx
+	aeaOpts.Deadline = *deadline
+	lsOpts := msc.LocalSearchOptions{Context: ctx, Deadline: *deadline}
 	if sink != nil {
 		solverOpts = append(solverOpts, msc.WithSink(sink))
 		eaOpts.Sink = sink
 		aeaOpts.Sink = sink
 		lsOpts.Sink = sink
+	}
+
+	evolutionary := *alg == "ea" || *alg == "aea"
+	if (*ckpt != "" || *resume != "") && !evolutionary {
+		return fmt.Errorf("-checkpoint/-resume require -alg ea or aea, got %q", *alg)
+	}
+	if *resume != "" {
+		rf, err := os.Open(*resume)
+		if err != nil {
+			return err
+		}
+		cp, err := msc.LastCheckpoint(rf)
+		rf.Close()
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", *resume, err)
+		}
+		if cp.Algorithm != *alg {
+			return fmt.Errorf("resume %s: checkpoint is from -alg %s, not %s", *resume, cp.Algorithm, *alg)
+		}
+		if cp.Round > *iters {
+			return fmt.Errorf("resume %s: checkpoint at iteration %d exceeds -iters %d", *resume, cp.Round, *iters)
+		}
+		eaOpts.Resume = cp
+		aeaOpts.Resume = cp
+	}
+	if *ckpt != "" {
+		cf, err := os.Create(*ckpt)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		ckptSink := msc.NewJSONLSink(cf)
+		defer func() {
+			if err := ckptSink.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "mscplace: checkpoint:", err)
+			}
+		}()
+		eaOpts.CheckpointSink = ckptSink
+		aeaOpts.CheckpointSink = ckptSink
+		eaOpts.CheckpointEvery = *ckptEach
+		aeaOpts.CheckpointEvery = *ckptEach
 	}
 	before := msc.CountersSnapshot()
 	start := time.Now()
@@ -161,7 +210,11 @@ func run() error {
 	case "aea":
 		pl = msc.AEA(inst, aeaOpts, rng).Best
 	case "random":
-		pl = msc.RandomPlacement(inst, *iters, rng, solverOpts...)
+		var rerr error
+		pl, rerr = msc.RandomPlacement(inst, *iters, rng, solverOpts...)
+		if rerr != nil {
+			return rerr
+		}
 	case "cn":
 		res, err := msc.SolveCommonNode(inst)
 		if err != nil {
@@ -195,10 +248,16 @@ func run() error {
 			MaxSigma:   inst.MaxSigma(),
 			WallMS:     float64(time.Since(start).Nanoseconds()) / 1e6,
 			Counters:   msc.CountersSnapshot().Sub(before),
+			StopReason: string(pl.Stop.Reason),
 		})
 	}
 
 	fmt.Printf("algorithm:  %s\n", *alg)
+	switch pl.Stop.Reason {
+	case msc.StopDeadline, msc.StopCanceled:
+		fmt.Printf("stopped:    %s after %d rounds (best-so-far placement follows)\n",
+			pl.Stop.Reason, pl.Stop.Rounds)
+	}
 	fmt.Printf("maintained: %d / %d pairs (p_t=%.3g, k=%d)\n", pl.Sigma, ps.Len(), threshold, budget)
 	if ratio > 0 {
 		fmt.Printf("guarantee:  ≥ %.3f × optimal\n", ratio)

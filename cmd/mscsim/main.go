@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,14 +19,10 @@ import (
 	"msc/internal/cli"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "mscsim:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Run("mscsim", run) }
 
-func run() error {
+func run(ctx context.Context) error {
+	_ = ctx // simulation batches are short; no supervision points needed
 	var (
 		in      = flag.String("in", "", "instance JSON (required)")
 		place   = flag.String("placement", "", "placement JSON from mscplace -out (optional: empty = no shortcuts)")

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -17,19 +18,15 @@ import (
 	"msc/internal/cli"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "mscviz:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Run("mscviz", run) }
 
 type placementFile struct {
 	Shortcuts [][2]int32 `json:"shortcuts"`
 	Sigma     int        `json:"maintained_pairs"`
 }
 
-func run() error {
+func run(ctx context.Context) error {
+	_ = ctx // rendering is fast; no supervision points needed
 	var (
 		in      = flag.String("in", "", "instance JSON (required)")
 		place   = flag.String("placement", "", "placement JSON from mscplace -out")

@@ -88,7 +88,10 @@ func run() error {
 	aea := msc.AEA(prob, aeaOpts, rng)
 	fmt.Printf("adaptive evolutionary: %d/%d maintained\n", aea.Best.Sigma, total)
 
-	rnd := msc.RandomPlacement(prob, 300, rng)
+	rnd, err := msc.RandomPlacement(prob, 300, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("random baseline:       %d/%d maintained\n\n", rnd.Sigma, total)
 
 	best := aa.Best

@@ -84,7 +84,10 @@ func run() error {
 
 	// The general algorithms for comparison: shortcuts may land anywhere.
 	aa := msc.Sandwich(inst)
-	rnd := msc.RandomPlacement(inst, 500, rng)
+	rnd, err := msc.RandomPlacement(inst, 500, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ngeneral sandwich algorithm: maintained %d/%d\n", aa.Best.Sigma, teams)
 	fmt.Printf("random baseline (best of 500): maintained %d/%d\n", rnd.Sigma, teams)
 

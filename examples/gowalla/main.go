@@ -73,7 +73,10 @@ func run() error {
 	fmt.Printf("budget: %d reliable links\n\n", budget)
 
 	res := msc.Sandwich(inst)
-	rnd := msc.RandomPlacement(inst, 500, rng)
+	rnd, err := msc.RandomPlacement(inst, 500, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sandwich algorithm: %d/%d friendships maintained\n", res.Best.Sigma, ps.Len())
 	fmt.Printf("random baseline:    %d/%d\n\n", rnd.Sigma, ps.Len())
 

@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Run is the single exit path shared by every msc command. It installs
+// SIGINT/SIGTERM handling (see SignalContext), invokes body with the
+// resulting context, and converts a non-nil error into exit status 1 on
+// stderr. Because body returns before os.Exit is reached, every deferred
+// cleanup inside body (profile stops, file flushes, telemetry sinks) runs
+// before the process terminates — commands must not call os.Exit
+// themselves.
+//
+//	func main() { cli.Run("mscplace", run) }
+//	func run(ctx context.Context) error { ... }
+//
+// A body that treats cancellation as a graceful stop (emit best-so-far,
+// flush records) returns nil and the process exits 0; a body that cannot
+// make progress returns ctx.Err() and the process exits 1.
+func Run(name string, body func(ctx context.Context) error) {
+	ctx, stop := SignalContext()
+	err := body(ctx)
+	stop()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+// SignalContext returns a context canceled on the first SIGINT or
+// SIGTERM, giving solvers a chance to stop at the next supervision point
+// and emit their best-so-far result. A second signal while the first is
+// still being handled aborts immediately with the conventional 128+SIGINT
+// status, so a wedged run never needs SIGKILL.
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			signal.Stop(ch)
+			return
+		}
+		cancel()
+		<-ch // a second signal means "stop waiting for graceful shutdown"
+		os.Exit(130)
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		cancel()
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"msc/internal/telemetry"
@@ -34,6 +35,20 @@ type AEAOptions struct {
 	// child's σ gain over its parent and the best σ so far). Tracing never
 	// touches the RNG, so runs are identical with and without a sink.
 	Sink telemetry.Sink
+	// Context supervises the run: checked at each iteration boundary;
+	// once done the loop stops with the best solution so far and
+	// Best.Stop.Reason set accordingly. nil means never canceled.
+	Context context.Context
+	// Deadline bounds the run in wall-clock time (composes with Context).
+	Deadline time.Duration
+	// Resume continues from a checkpoint with Algorithm "aea": RNG
+	// repositioned, population and best restored, iteration Resume.Round
+	// runs next.
+	Resume *telemetry.CheckpointEvent
+	// CheckpointSink receives CheckpointEvent snapshots: one at the end of
+	// the run, plus one every CheckpointEvery iterations when > 0.
+	CheckpointSink  telemetry.Sink
+	CheckpointEvery int
 }
 
 // DefaultAEAOptions mirror the paper's evaluation settings (§VII-D).
@@ -82,18 +97,60 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 		k = numCand
 	}
 
-	seed := rng.SampleDistinct(numCand, k)
-	if opts.SeedGreedy {
-		seed = greedySeed(p, k, numCand, rng, workers)
+	ctx, cancel := superviseCtx(opts.Context, opts.Deadline)
+	defer cancel()
+	var pop []aeaSol
+	var best aeaSol
+	startIter := 0
+	if cp := opts.Resume; cp != nil {
+		checkResume("aea", cp, opts.Iterations)
+		restoreRNG(rng, cp)
+		pop = make([]aeaSol, len(cp.Population))
+		for i, s := range cp.Population {
+			pop[i] = aeaSol{sel: append([]int(nil), s.Selection...), sigma: s.Sigma}
+		}
+		best = aeaSol{sel: append([]int(nil), cp.Best.Selection...), sigma: cp.Best.Sigma}
+		startIter = cp.Round
+	} else {
+		seed := rng.SampleDistinct(numCand, k)
+		if opts.SeedGreedy {
+			seed = greedySeed(p, k, numCand, rng, workers)
+		}
+		pop = []aeaSol{{sel: seed, sigma: SigmaOf(p, seed, workers)}}
+		best = pop[0]
 	}
-	pop := []aeaSol{{sel: seed, sigma: SigmaOf(p, seed, workers)}}
-	best := pop[0]
 	res := AEAResult{}
 	if opts.RecordTrace {
-		res.Trace = make([]int, 0, opts.Iterations)
+		res.Trace = make([]int, 0, opts.Iterations-startIter)
+	}
+	stop := StopInfo{Reason: StopEvalBudget, Rounds: startIter}
+	checkpoint := func() {
+		if opts.CheckpointSink == nil {
+			return
+		}
+		seed, draws := rng.State()
+		cp := telemetry.CheckpointEvent{
+			Algorithm:  "aea",
+			Round:      stop.Rounds,
+			Seed:       seed,
+			Draws:      draws,
+			Population: make([]telemetry.CheckpointSolution, len(pop)),
+			Best:       snapshotSolution(best.sel, best.sigma),
+		}
+		for i, s := range pop {
+			cp.Population[i] = snapshotSolution(s.sel, s.sigma)
+		}
+		opts.CheckpointSink.Emit(cp)
 	}
 
-	for iter := 0; iter < opts.Iterations; iter++ {
+	for iter := startIter; iter < opts.Iterations; iter++ {
+		// Supervision precedes the iteration's RNG draws: cancellation
+		// lands on a clean iteration boundary, the state checkpoints
+		// capture.
+		if err := ctxErr(ctx); err != nil {
+			stop.Reason = stopReasonFor(err)
+			break
+		}
 		var start time.Time
 		if opts.Sink != nil {
 			start = time.Now()
@@ -104,6 +161,7 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 			best = child
 		}
 		updatePopulation(&pop, child, opts.PopSize)
+		stop.Rounds = iter + 1
 		if opts.RecordTrace {
 			res.Trace = append(res.Trace, best.sigma)
 		}
@@ -128,8 +186,14 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 				ElapsedNS:  time.Since(start).Nanoseconds(),
 			})
 		}
+		if stop.Rounds < opts.Iterations && checkpointDue(stop.Rounds, opts.Iterations, opts.CheckpointEvery) {
+			checkpoint()
+		}
 	}
+	checkpoint()
 	res.Best = newPlacement(p, best.sel)
+	stop.Sigma = res.Best.Sigma
+	res.Best.Stop = stop
 	return res
 }
 

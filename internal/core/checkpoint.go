@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"msc/internal/telemetry"
+	"msc/internal/xrand"
+)
+
+// Checkpoint/resume for the randomized solvers. A telemetry.CheckpointEvent
+// is a complete snapshot of an EA/AEA run at an iteration boundary: RNG
+// stream position (seed + draw count), population in archive order, best
+// feasible solution, and iteration count. Both solvers draw randomness only
+// through the counted xrand stream and mutate no other cross-iteration
+// state, so restore-and-continue replays the straight-through run bit for
+// bit (locked by checkpoint_test.go).
+
+// snapshotSolution converts an internal solution to its checkpoint form.
+func snapshotSolution(sel []int, sigma int) telemetry.CheckpointSolution {
+	return telemetry.CheckpointSolution{
+		Selection: append([]int(nil), sel...),
+		Sigma:     sigma,
+	}
+}
+
+// checkResume validates that a checkpoint belongs to the named algorithm
+// and fits the iteration budget. Violations are programmer/CLI errors, so
+// the solvers panic; mscplace validates first and reports typed errors.
+func checkResume(alg string, cp *telemetry.CheckpointEvent, iterations int) {
+	if cp.Algorithm != alg {
+		panic(fmt.Sprintf("core: resume checkpoint belongs to %q, not %q", cp.Algorithm, alg))
+	}
+	if cp.Round > iterations {
+		panic(fmt.Sprintf("core: resume checkpoint at round %d exceeds the %d-iteration budget", cp.Round, iterations))
+	}
+}
+
+// restoreRNG positions rng at the checkpoint's stream position.
+func restoreRNG(rng *xrand.Rand, cp *telemetry.CheckpointEvent) {
+	rng.Restore(cp.Seed, cp.Draws)
+}
+
+// checkpointDue reports whether a checkpoint should be emitted after
+// `done` completed iterations out of `total`, with cadence `every`
+// (0 = final iteration only).
+func checkpointDue(done, total, every int) bool {
+	if done == total {
+		return true
+	}
+	return every > 0 && done%every == 0
+}

@@ -313,7 +313,10 @@ func TestAEAFeasibleAndMonotoneTrace(t *testing.T) {
 func TestRandomPlacementFeasible(t *testing.T) {
 	rng := xrand.New(333)
 	inst := testInstance(t, 16, 8, 3, 0.9, rng)
-	pl := RandomPlacement(inst, 50, rng)
+	pl, err := RandomPlacement(inst, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pl.Edges) != inst.K() {
 		t.Fatalf("|F| = %d, want %d", len(pl.Edges), inst.K())
 	}

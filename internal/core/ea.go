@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -13,9 +14,10 @@ type EAResult struct {
 	Best Placement
 	// Trace[t] is the best feasible σ found within the first t+1
 	// iterations; it is recorded only when EAOptions.RecordTrace is set
-	// (used to regenerate Fig. 4).
+	// (used to regenerate Fig. 4). A resumed run's trace covers only the
+	// continuation.
 	Trace []int
-	// Evaluations counts σ evaluations performed.
+	// Evaluations counts σ evaluations performed (carried across resume).
 	Evaluations int
 	// PopulationSize is the final Pareto-archive size.
 	PopulationSize int
@@ -23,7 +25,8 @@ type EAResult struct {
 
 // EAOptions tune the evolutionary algorithm.
 type EAOptions struct {
-	// Iterations is the adjustment count r (paper uses r = 500).
+	// Iterations is the adjustment count r (paper uses r = 500). A resumed
+	// run continues up to the same total, not r further iterations.
 	Iterations int
 	// RecordTrace enables per-iteration best-σ recording.
 	RecordTrace bool
@@ -37,6 +40,26 @@ type EAOptions struct {
 	// Tracing never touches the RNG, so runs are identical with and
 	// without a sink.
 	Sink telemetry.Sink
+	// Context supervises the run: it is checked at each iteration boundary
+	// and, once done, stops the loop with the best feasible solution so
+	// far and Best.Stop.Reason set accordingly. nil means never canceled;
+	// an uncancelled supervised run is bit-identical to an unsupervised
+	// one.
+	Context context.Context
+	// Deadline bounds the run to this much wall-clock time (composing with
+	// Context; whichever fires first wins). <= 0 means no deadline.
+	Deadline time.Duration
+	// Resume continues a run from a checkpoint instead of starting fresh:
+	// the RNG is repositioned, the archive and best-so-far restored, and
+	// iteration Resume.Round runs next. The checkpoint must carry
+	// Algorithm "ea".
+	Resume *telemetry.CheckpointEvent
+	// CheckpointSink, when non-nil, receives CheckpointEvent snapshots:
+	// always one at the end of the run (converged, canceled, or budget
+	// exhausted), plus one every CheckpointEvery iterations when that is
+	// > 0. Snapshots read solver state but never steer it.
+	CheckpointSink  telemetry.Sink
+	CheckpointEvery int
 }
 
 // eaSol is one archive member: a solution with cached objective values.
@@ -59,16 +82,60 @@ type eaSol struct {
 func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 	numCand := p.NumCandidates()
 	workers := ResolveParallelism(opts.Parallelism)
+	ctx, cancel := superviseCtx(opts.Context, opts.Deadline)
+	defer cancel()
 	res := EAResult{}
-	pop := []eaSol{{sel: nil, sigma: SigmaOf(p, nil, workers)}}
-	res.Evaluations++
-	bestFeasible := eaSol{sel: nil, sigma: pop[0].sigma}
+	var pop []eaSol
+	var bestFeasible eaSol
+	startIter := 0
+	if cp := opts.Resume; cp != nil {
+		checkResume("ea", cp, opts.Iterations)
+		restoreRNG(rng, cp)
+		pop = make([]eaSol, len(cp.Population))
+		for i, s := range cp.Population {
+			pop[i] = eaSol{sel: append([]int(nil), s.Selection...), sigma: s.Sigma}
+		}
+		bestFeasible = eaSol{sel: append([]int(nil), cp.Best.Selection...), sigma: cp.Best.Sigma}
+		res.Evaluations = cp.Evaluations
+		startIter = cp.Round
+	} else {
+		pop = []eaSol{{sel: nil, sigma: SigmaOf(p, nil, workers)}}
+		res.Evaluations++
+		bestFeasible = eaSol{sel: nil, sigma: pop[0].sigma}
+	}
 	if opts.RecordTrace {
-		res.Trace = make([]int, 0, opts.Iterations)
+		res.Trace = make([]int, 0, opts.Iterations-startIter)
+	}
+	stop := StopInfo{Reason: StopEvalBudget, Rounds: startIter}
+	checkpoint := func() {
+		if opts.CheckpointSink == nil {
+			return
+		}
+		seed, draws := rng.State()
+		cp := telemetry.CheckpointEvent{
+			Algorithm:   "ea",
+			Round:       stop.Rounds,
+			Seed:        seed,
+			Draws:       draws,
+			Population:  make([]telemetry.CheckpointSolution, len(pop)),
+			Best:        snapshotSolution(bestFeasible.sel, bestFeasible.sigma),
+			Evaluations: res.Evaluations,
+		}
+		for i, s := range pop {
+			cp.Population[i] = snapshotSolution(s.sel, s.sigma)
+		}
+		opts.CheckpointSink.Emit(cp)
 	}
 
 	flipProb := 1 / float64(numCand)
-	for iter := 0; iter < opts.Iterations; iter++ {
+	for iter := startIter; iter < opts.Iterations; iter++ {
+		// The supervision check precedes the iteration's RNG draws, so a
+		// canceled run stops at a clean iteration boundary — exactly the
+		// state a checkpoint captures.
+		if err := ctxErr(ctx); err != nil {
+			stop.Reason = stopReasonFor(err)
+			break
+		}
 		var start time.Time
 		if opts.Sink != nil {
 			start = time.Now()
@@ -81,6 +148,7 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 		if len(child) <= p.K() && betterFeasible(childSigma, child, bestFeasible) {
 			bestFeasible = eaSol{sel: child, sigma: childSigma}
 		}
+		stop.Rounds = iter + 1
 		if opts.RecordTrace {
 			res.Trace = append(res.Trace, bestFeasible.sigma)
 		}
@@ -97,8 +165,14 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 				ElapsedNS:  time.Since(start).Nanoseconds(),
 			})
 		}
+		if stop.Rounds < opts.Iterations && checkpointDue(stop.Rounds, opts.Iterations, opts.CheckpointEvery) {
+			checkpoint()
+		}
 	}
+	checkpoint()
 	res.Best = newPlacement(p, bestFeasible.sel)
+	stop.Sigma = res.Best.Sigma
+	res.Best.Stop = stop
 	res.PopulationSize = len(pop)
 	return res
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -12,10 +13,11 @@ var ErrTooLarge = errors.New("core: exhaustive search space too large")
 // Exhaustive computes the exact optimal placement by enumerating every
 // selection of up to k candidates. It is exponential and exists to verify
 // approximation ratios on test-sized instances; maxEvals caps the number of
-// σ evaluations (use ~1e6).
+// σ evaluations (use ~1e6). It rejects maxEvals < 1 and budgets exceeding
+// the candidate universe with a typed *InputError.
 //
 // Because σ is monotone in F, it suffices to enumerate selections of size
-// exactly min(k, N).
+// exactly k.
 //
 // With Parallelism > 1 the enumeration is residue-strided: every worker
 // walks the (cheap) lexicographic combination sequence but evaluates only
@@ -24,18 +26,35 @@ var ErrTooLarge = errors.New("core: exhaustive search space too large")
 // per-worker bests reduce serially — highest σ, ties toward the lowest
 // enumeration index — which is exactly the combination the serial
 // first-strictly-better loop keeps.
+//
+// With WithContext/WithDeadline attached, cancellation returns the best
+// placement among the combinations evaluated so far with Stop.Reason
+// reporting why; a full enumeration reports StopConverged — the returned
+// placement is exact.
 func Exhaustive(p Problem, maxEvals int, opts ...Option) (Placement, error) {
-	workers := resolveOptions(opts)
+	cfg := resolveConfig(opts)
+	defer cfg.release()
 	numCand := p.NumCandidates()
+	if maxEvals < 1 {
+		return Placement{}, &InputError{Param: "maxEvals", Value: maxEvals, Reason: "must be at least 1"}
+	}
 	k := p.K()
 	if k > numCand {
-		k = numCand
+		return Placement{}, &InputError{Param: "k", Value: k,
+			Reason: fmt.Sprintf("budget exceeds the %d candidate edges", numCand)}
 	}
 	total := binomial(numCand, k)
 	if total < 0 || total > float64(maxEvals) {
 		return Placement{}, ErrTooLarge
 	}
-	if workers <= 1 || k == 0 {
+	stop := StopInfo{Reason: StopConverged}
+	finish := func(sel []int) (Placement, error) {
+		pl := newPlacement(p, sel)
+		stop.Sigma = pl.Sigma
+		pl.Stop = stop
+		return pl, nil
+	}
+	if cfg.workers <= 1 || k == 0 {
 		sel := make([]int, k)
 		for i := range sel {
 			sel[i] = i
@@ -43,36 +62,46 @@ func Exhaustive(p Problem, maxEvals int, opts ...Option) (Placement, error) {
 		var bestSel []int
 		bestSigma := -1
 		for {
+			if err := cfg.err(); err != nil {
+				stop.Reason = stopReasonFor(err)
+				break
+			}
 			if sigma := p.Sigma(sel); sigma > bestSigma {
 				bestSigma = sigma
 				bestSel = append([]int(nil), sel...)
 			}
+			stop.Rounds++
 			if !nextCombination(sel, numCand) {
 				break
 			}
 		}
-		if bestSel == nil { // k == 0
+		if bestSel == nil { // k == 0 or canceled before the first evaluation
 			bestSel = []int{}
 		}
-		return newPlacement(p, bestSel), nil
+		return finish(bestSel)
 	}
 	type exhBest struct {
 		sel   []int
 		sigma int
 		index int
+		evals int
 	}
-	bests := make([]exhBest, workers)
-	ParallelFor(workers, workers, func(shard, _, _ int) {
+	bests := make([]exhBest, cfg.workers)
+	ParallelFor(cfg.workers, cfg.workers, func(shard, _, _ int) {
 		sel := make([]int, k)
 		for i := range sel {
 			sel[i] = i
 		}
 		best := exhBest{sigma: -1, index: -1}
 		for index := 0; ; index++ {
-			if index%workers == shard {
-				if sigma := p.Sigma(sel); sigma > best.sigma {
-					best = exhBest{sel: append([]int(nil), sel...), sigma: sigma, index: index}
+			if index%cfg.workers == shard {
+				if cfg.err() != nil {
+					break
 				}
+				if sigma := p.Sigma(sel); sigma > best.sigma {
+					best = exhBest{sel: append([]int(nil), sel...), sigma: sigma, index: index, evals: best.evals}
+				}
+				best.evals++
 			}
 			if !nextCombination(sel, numCand) {
 				break
@@ -80,13 +109,21 @@ func Exhaustive(p Problem, maxEvals int, opts ...Option) (Placement, error) {
 		}
 		bests[shard] = best
 	})
+	if err := cfg.err(); err != nil {
+		stop.Reason = stopReasonFor(err)
+	}
 	winner := bests[0]
+	stop.Rounds = bests[0].evals
 	for _, b := range bests[1:] {
+		stop.Rounds += b.evals
 		if b.sigma > winner.sigma || (b.sigma == winner.sigma && b.index < winner.index) {
 			winner = b
 		}
 	}
-	return newPlacement(p, winner.sel), nil
+	if winner.sel == nil { // canceled before any shard evaluated
+		winner.sel = []int{}
+	}
+	return finish(winner.sel)
 }
 
 // nextCombination advances sel to the next k-combination of [0, n) in

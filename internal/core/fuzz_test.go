@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"msc/internal/failprob"
@@ -118,7 +119,16 @@ func FuzzInstance(f *testing.F) {
 			}
 		}
 
-		rnd := RandomPlacement(inst, 5, xrand.New(int64(len(data))))
+		rnd, rndErr := RandomPlacement(inst, 5, xrand.New(int64(len(data))))
+		if rndErr != nil {
+			// k > numCandidates is rejected with a typed InputError; any
+			// other failure on a validated instance is a bug.
+			var inputErr *InputError
+			if !errors.As(rndErr, &inputErr) {
+				t.Fatalf("RandomPlacement: %v", rndErr)
+			}
+			return
+		}
 		checkSigma("RandomPlacement", rnd.Sigma)
 		if err == nil && rnd.Sigma > opt.Sigma {
 			t.Fatalf("RandomPlacement σ %d above Exhaustive optimum %d", rnd.Sigma, opt.Sigma)

@@ -19,6 +19,10 @@ import (
 // The per-round candidate scan shards across Parallelism(n) workers (see
 // parallel.go); the placement is identical for every worker count.
 //
+// With WithContext/WithDeadline attached, the loop is anytime: each round
+// commits only after a supervision check, so cancellation returns the
+// feasible prefix built so far with Placement.Stop reporting the reason.
+//
 // With WithSink attached, every committed round emits a RoundEvent carrying
 // the chosen shortcut, its marginal gain, the σ/μ/ν values of the selection
 // after the round, the scan width, and the per-shard wall-time extrema of
@@ -26,26 +30,49 @@ import (
 // so the placement is identical with and without a sink.
 func GreedySigma(p Problem, opts ...Option) Placement {
 	cfg := resolveConfig(opts)
+	defer cfg.release()
 	s := p.NewSearch(nil)
 	setSearchWorkers(s, cfg.workers)
+	setSearchContext(s, cfg.ctx)
+	stop := StopInfo{Reason: StopConverged}
+	finish := func() Placement {
+		pl := newPlacement(p, s.Selection())
+		stop.Sigma = pl.Sigma
+		pl.Stop = stop
+		return pl
+	}
 	if cfg.sink == nil {
 		for s.Len() < p.K() {
 			cand, gain := s.BestAdd()
+			// The supervision check sits BEFORE committing the round: a
+			// canceled scan's (possibly partial) argmax is discarded, and a
+			// run that is never canceled commits exactly the rounds the
+			// unsupervised loop would.
+			if err := cfg.err(); err != nil {
+				stop.Reason = stopReasonFor(err)
+				return finish()
+			}
 			if gain <= 0 {
 				break
 			}
 			s.Add(cand)
+			stop.Rounds++
 		}
-		return newPlacement(p, s.Selection())
+		return finish()
 	}
 	enableScanTiming(s)
 	for round := 0; s.Len() < p.K(); round++ {
 		start := time.Now()
 		cand, gain := s.BestAdd()
+		if err := cfg.err(); err != nil {
+			stop.Reason = stopReasonFor(err)
+			return finish()
+		}
 		if gain <= 0 {
 			break
 		}
 		s.Add(cand)
+		stop.Rounds++
 		sel := s.Selection()
 		e := p.CandidateEdge(cand)
 		minNS, maxNS, shards := lastScanShards(s)
@@ -65,7 +92,7 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 			Shards:     shards,
 		})
 	}
-	return newPlacement(p, s.Selection())
+	return finish()
 }
 
 // GreedyMu greedily maximizes the submodular lower bound μ (§V-B1) via its

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"msc/internal/telemetry"
@@ -20,6 +21,12 @@ type LocalSearchOptions struct {
 	// reads solver state only, so the refinement is identical with and
 	// without a sink.
 	Sink telemetry.Sink
+	// Context supervises the pass: checked before each swap is committed,
+	// so cancellation returns the refinement achieved so far (never worse
+	// than the input). nil means never canceled.
+	Context context.Context
+	// Deadline bounds the pass in wall-clock time (composes with Context).
+	Deadline time.Duration
 }
 
 // LocalSearch refines a placement by best-improvement swaps: repeatedly
@@ -37,8 +44,11 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 		maxIters = 100
 	}
 	workers := ResolveParallelism(opts.Parallelism)
+	ctx, cancel := superviseCtx(opts.Context, opts.Deadline)
+	defer cancel()
 	cur := append([]int(nil), start...)
 	s := p.NewSearch(cur)
+	stop := StopInfo{Reason: StopEvalBudget}
 	for iter := 0; iter < maxIters; iter++ {
 		var start time.Time
 		if opts.Sink != nil {
@@ -49,12 +59,20 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 		// positions shard across workers (see ParBestSwap).
 		prevSigma := s.Sigma()
 		bestDrop, bestAdd, _ := ParBestSwap(p, cur, prevSigma, workers)
+		// Supervision before committing the swap: a canceled scan's result
+		// is discarded and the refinement so far returned.
+		if err := ctxErr(ctx); err != nil {
+			stop.Reason = stopReasonFor(err)
+			break
+		}
 		if bestDrop < 0 {
+			stop.Reason = StopConverged
 			break // swap-local optimum
 		}
 		cur = append(cur[:bestDrop], cur[bestDrop+1:]...)
 		cur = append(cur, bestAdd)
 		s = p.NewSearch(cur)
+		stop.Rounds = iter + 1
 		if opts.Sink != nil {
 			e := p.CandidateEdge(bestAdd)
 			sigma := s.Sigma()
@@ -72,5 +90,8 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 			})
 		}
 	}
-	return newPlacement(p, cur)
+	pl := newPlacement(p, cur)
+	stop.Sigma = pl.Sigma
+	pl.Stop = stop
+	return pl
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"msc/internal/telemetry"
 )
@@ -34,6 +37,12 @@ type Option func(*solveConfig)
 type solveConfig struct {
 	workers int
 	sink    telemetry.Sink
+	// ctx supervises the run (WithContext); nil means never canceled.
+	ctx context.Context
+	// timeout is a relative deadline (WithDeadline); resolveConfig wraps
+	// ctx with it and records cancel for release().
+	timeout time.Duration
+	cancel  context.CancelFunc
 }
 
 // Parallelism fixes the number of candidate-scan workers a solver may use.
@@ -92,6 +101,9 @@ func resolveConfig(opts []Option) solveConfig {
 		o(&c)
 	}
 	c.workers = ResolveParallelism(c.workers)
+	if c.timeout > 0 {
+		c.ctx, c.cancel = superviseCtx(c.ctx, c.timeout)
+	}
 	return c
 }
 
@@ -188,6 +200,14 @@ func SigmaOf(p Problem, sel []int, workers int) int {
 // returning when all complete. fn must confine its writes to
 // shard-indexed or [lo, hi)-indexed state. With workers <= 1 (or n <= 1)
 // fn runs inline on the caller's goroutine.
+//
+// Panic isolation: a panic inside a worker goroutine is recovered there,
+// the remaining shards drain normally (the WaitGroup never deadlocks and no
+// goroutine leaks), and the first panicking shard — in shard order, for
+// determinism — is re-raised on the caller's goroutine as a typed
+// *ShardPanicError carrying the shard's index range and stack. Nested
+// ParallelFor calls propagate the innermost ShardPanicError unchanged, so
+// the reported range always names the scan that actually failed.
 func ParallelFor(workers, n int, fn func(shard, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -199,6 +219,7 @@ func ParallelFor(workers, n int, fn func(shard, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
+	panics := make([]*ShardPanicError, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := n * w / workers
@@ -209,10 +230,27 @@ func ParallelFor(workers, n int, fn func(shard, lo, hi int)) {
 		wg.Add(1)
 		go func(shard, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if inner, ok := r.(*ShardPanicError); ok {
+						panics[shard] = inner
+						return
+					}
+					panics[shard] = &ShardPanicError{
+						Shard: shard, Lo: lo, Hi: hi,
+						Value: r, Stack: debug.Stack(),
+					}
+				}
+			}()
 			fn(shard, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 }
 
 // ParBestAdd returns the candidate with the largest σ gain (ties toward

@@ -122,8 +122,11 @@ func TestSerialParallelEquivalence(t *testing.T) {
 			})
 
 			t.Run("random_placement", func(t *testing.T) {
-				serial := RandomPlacement(inst, 30, xrand.New(seed), Parallelism(1))
-				par := RandomPlacement(inst, 30, xrand.New(seed), Parallelism(workers))
+				serial, serr := RandomPlacement(inst, 30, xrand.New(seed), Parallelism(1))
+				par, perr := RandomPlacement(inst, 30, xrand.New(seed), Parallelism(workers))
+				if serr != nil || perr != nil {
+					t.Fatalf("RandomPlacement: serial err %v, parallel err %v", serr, perr)
+				}
 				comparePlacements(t, "RandomPlacement", serial, par)
 			})
 

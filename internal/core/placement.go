@@ -17,6 +17,10 @@ type Placement struct {
 	// Sigma is σ(Selection): maintained social pairs (summed over time
 	// instances for dynamic problems).
 	Sigma int
+	// Stop records how the producing run ended (reason, rounds completed,
+	// final σ). Its zero value means the solver predates supervision or
+	// does not report one (GreedyMu/GreedyNu, SolveCommonNode).
+	Stop StopInfo
 }
 
 func newPlacement(p Problem, sel []int) Placement {

@@ -1,50 +1,96 @@
 package core
 
-import "msc/internal/xrand"
+import (
+	"fmt"
+
+	"msc/internal/xrand"
+)
 
 // RandomPlacement is the baseline of §VII-C: draw trials independent
 // uniform placements of k distinct shortcut edges and keep the one
-// maintaining the most social pairs (the paper uses trials = 500).
+// maintaining the most social pairs (the paper uses trials = 500). It
+// rejects trials < 1 and budgets exceeding the candidate universe with a
+// typed *InputError.
 //
 // With Parallelism > 1 every selection is drawn serially first (the rng is
 // single-goroutine), the σ evaluations shard across workers, and the best
 // trial reduces serially with ties toward the lowest trial index — the
 // same winner the serial first-strictly-better loop keeps. The returned
 // placement is identical for every worker count.
-func RandomPlacement(p Problem, trials int, rng *xrand.Rand, opts ...Option) Placement {
-	workers := resolveOptions(opts)
+//
+// With WithContext/WithDeadline attached, cancellation returns the best
+// placement among the trials evaluated so far, with Stop.Reason reporting
+// why; an uncancelled run completes all trials (Stop.Reason ==
+// StopEvalBudget) and is identical to an unsupervised run.
+func RandomPlacement(p Problem, trials int, rng *xrand.Rand, opts ...Option) (Placement, error) {
+	cfg := resolveConfig(opts)
+	defer cfg.release()
 	numCand := p.NumCandidates()
+	if trials < 1 {
+		return Placement{}, &InputError{Param: "trials", Value: trials, Reason: "must be at least 1"}
+	}
 	k := p.K()
 	if k > numCand {
-		k = numCand
+		return Placement{}, &InputError{Param: "k", Value: k,
+			Reason: fmt.Sprintf("budget exceeds the %d candidate edges", numCand)}
 	}
-	if workers <= 1 || trials <= 1 {
+	stop := StopInfo{Reason: StopEvalBudget}
+	finish := func(sel []int) (Placement, error) {
+		pl := newPlacement(p, sel)
+		stop.Sigma = pl.Sigma
+		pl.Stop = stop
+		return pl, nil
+	}
+	if cfg.workers <= 1 || trials <= 1 {
 		var bestSel []int
 		bestSigma := -1
 		for t := 0; t < trials; t++ {
+			if err := cfg.err(); err != nil {
+				stop.Reason = stopReasonFor(err)
+				break
+			}
 			sel := rng.SampleDistinct(numCand, k)
 			if sigma := p.Sigma(sel); sigma > bestSigma {
 				bestSigma = sigma
 				bestSel = sel
 			}
+			stop.Rounds++
 		}
-		return newPlacement(p, bestSel)
+		return finish(bestSel)
 	}
 	sels := make([][]int, trials)
 	for t := range sels {
 		sels[t] = rng.SampleDistinct(numCand, k)
 	}
 	sigmas := make([]int, trials)
-	ParallelFor(workers, trials, func(_, lo, hi int) {
+	shards := cfg.workers
+	if shards > trials {
+		shards = trials
+	}
+	// Per-shard completion counts report Rounds when a cancellation cuts
+	// the evaluation short; unevaluated trials keep σ = 0 and so never
+	// outrank an evaluated one in the reduce.
+	done := make([]int, shards)
+	ParallelFor(cfg.workers, trials, func(shard, lo, hi int) {
 		for t := lo; t < hi; t++ {
+			if cfg.err() != nil {
+				return
+			}
 			sigmas[t] = p.Sigma(sels[t])
+			done[shard]++
 		}
 	})
+	if err := cfg.err(); err != nil {
+		stop.Reason = stopReasonFor(err)
+	}
+	for _, d := range done {
+		stop.Rounds += d
+	}
 	best := 0
 	for t := 1; t < trials; t++ {
 		if sigmas[t] > sigmas[best] {
 			best = t
 		}
 	}
-	return newPlacement(p, sels[best])
+	return finish(sels[best])
 }

@@ -38,10 +38,15 @@ type SandwichResult struct {
 // SandwichEvent summarizing the three arms and the bound.
 func Sandwich(p Problem, opts ...Option) SandwichResult {
 	cfg := resolveConfig(opts)
+	defer cfg.release()
+	// The F_σ arm must share this run's derived deadline context rather than
+	// re-deriving its own (which would restart the clock mid-run), so the
+	// forwarded options pin the resolved context and clear the deadline.
+	armOpts := append(append([]Option(nil), opts...), WithContext(cfg.ctx), WithDeadline(0))
 	start := time.Now()
 	res := SandwichResult{
 		FMu:    GreedyMu(p),
-		FSigma: GreedySigma(p, opts...),
+		FSigma: GreedySigma(p, armOpts...),
 		FNu:    GreedyNu(p),
 	}
 	res.Best = res.FMu
@@ -61,6 +66,14 @@ func Sandwich(p Problem, opts ...Option) SandwichResult {
 		res.Ratio = 1 // ν ≥ σ ≥ 0; ν == 0 forces σ == 0 too
 	}
 	res.ApproxFactor = res.Ratio * (1 - 1/math.E)
+	// The μ/ν arms run the cheap lazy-greedy coverage solver open-loop, so
+	// only the F_σ arm observes cancellation; its stop reason describes the
+	// whole run, re-attached with the winning arm's σ.
+	res.Best.Stop = StopInfo{
+		Reason: res.FSigma.Stop.Reason,
+		Rounds: res.FSigma.Stop.Rounds,
+		Sigma:  res.Best.Sigma,
+	}
 	if cfg.sink != nil {
 		cfg.sink.Emit(telemetry.SandwichEvent{
 			SigmaMu:      res.FMu.Sigma,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"msc/internal/graph"
@@ -36,7 +37,8 @@ import (
 type instSearch struct {
 	inst    *Instance
 	sel     []int
-	workers int // shard count for scans; 1 = serial
+	workers int             // shard count for scans; 1 = serial
+	ctx     context.Context // supervision context polled mid-scan; nil = never
 
 	endpoints []graph.NodeID // distinct pair endpoints
 	rows      [][]float64    // rows[i][x] = d_F(endpoints[i], x)
@@ -60,6 +62,7 @@ type instSearch struct {
 var (
 	_ ParallelSearch = (*instSearch)(nil)
 	_ ScanTimer      = (*instSearch)(nil)
+	_ ContextAware   = (*instSearch)(nil)
 )
 
 // NewSearch returns an incremental evaluator positioned at sel (copied).
@@ -93,6 +96,19 @@ func (inst *Instance) NewSearch(sel []int) Search {
 // SetWorkers fixes the shard count for subsequent scans; 1 means fully
 // serial, n <= 0 resolves via ResolveParallelism.
 func (s *instSearch) SetWorkers(n int) { s.workers = ResolveParallelism(n) }
+
+// SetContext implements ContextAware: subsequent scans poll ctx once per
+// unsatisfied pair (gains scans) or per drop position (SigmaDrops) and bail
+// out when it is done, leaving partial scratch the solver discards. Polling
+// reads but never writes scan state, so a context that is never canceled
+// leaves every scan result bit-identical.
+func (s *instSearch) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// interrupted reports whether the supervision context wants the scan to
+// stop.
+func (s *instSearch) interrupted() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
 
 // EnableScanTiming implements ScanTimer.
 func (s *instSearch) EnableScanTiming(on bool) { s.timeScan = on }
@@ -237,6 +253,9 @@ func (s *instSearch) GainsAdd() []int {
 		if s.pairDist[i] <= dt {
 			continue
 		}
+		if s.interrupted() {
+			break
+		}
 		w := int(s.inst.weights[i])
 		ru := s.rows[s.pairU[i]]
 		rw := s.rows[s.pairW[i]]
@@ -272,6 +291,9 @@ func (s *instSearch) gainsRows(aiLo, aiHi int) {
 	t := len(nodes)
 	dt := s.inst.thr.D
 	for _, i := range s.unsat {
+		if s.interrupted() {
+			return
+		}
 		w := int(s.inst.weights[i])
 		ru := s.rows[s.pairU[i]]
 		rw := s.rows[s.pairW[i]]
@@ -309,6 +331,9 @@ func (s *instSearch) SigmaDrops() []int {
 	s.drops = s.drops[:len(s.sel)]
 	ParallelFor(s.workers, len(s.sel), func(_, lo, hi int) {
 		for pos := lo; pos < hi; pos++ {
+			if s.interrupted() {
+				return
+			}
 			s.drops[pos] = s.SigmaDrop(pos)
 		}
 	})

@@ -136,7 +136,10 @@ func TestCommonNodeGreedyBeatsRandomArm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rnd := RandomPlacement(inst, 20, rng)
+	rnd, err := RandomPlacement(inst, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Placement.Sigma < rnd.Sigma-2 {
 		// Greedy with the (1−1/e) guarantee should essentially never lose
 		// to 20 random draws; small slack guards against freak instances.

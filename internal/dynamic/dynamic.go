@@ -12,6 +12,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -283,7 +284,19 @@ type multiSearch struct {
 var (
 	_ core.ParallelSearch = (*multiSearch)(nil)
 	_ core.ScanTimer      = (*multiSearch)(nil)
+	_ core.ContextAware   = (*multiSearch)(nil)
 )
+
+// SetContext implements core.ContextAware by forwarding the supervision
+// context to every per-instance search, so cancellation interrupts the
+// fanned-out candidate scans too.
+func (s *multiSearch) SetContext(ctx context.Context) {
+	for _, sub := range s.subs {
+		if ca, ok := sub.(core.ContextAware); ok {
+			ca.SetContext(ctx)
+		}
+	}
+}
 
 // EnableScanTiming turns on per-instance wall-time capture for subsequent
 // GainsAdd scans (core.ScanTimer).

@@ -84,8 +84,11 @@ func TestDynamicSerialParallelEquivalence(t *testing.T) {
 					aeaPar.Best.Selection, aeaPar.Best.Sigma)
 			}
 
-			rndSerial := core.RandomPlacement(p, 20, xrand.New(seed), core.Parallelism(1))
-			rndPar := core.RandomPlacement(p, 20, xrand.New(seed), core.Parallelism(8))
+			rndSerial, serr := core.RandomPlacement(p, 20, xrand.New(seed), core.Parallelism(1))
+			rndPar, perr := core.RandomPlacement(p, 20, xrand.New(seed), core.Parallelism(8))
+			if serr != nil || perr != nil {
+				t.Fatalf("RandomPlacement: serial err %v, parallel err %v", serr, perr)
+			}
 			if rndSerial.Sigma != rndPar.Sigma || !reflect.DeepEqual(rndSerial.Selection, rndPar.Selection) {
 				t.Errorf("RandomPlacement differs: serial (%v, σ %d), parallel (%v, σ %d)",
 					rndSerial.Selection, rndSerial.Sigma, rndPar.Selection, rndPar.Sigma)

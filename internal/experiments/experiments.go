@@ -14,10 +14,22 @@ import (
 	"msc/internal/shortestpath"
 	"msc/internal/telemetry"
 	"msc/internal/viz"
+	"msc/internal/xrand"
 )
 
 // The parameter grids below mirror §VII; Quick mode shrinks them so the
 // full suite stays test-sized.
+
+// mustRandom runs the random-placement baseline on an experiment-built
+// instance, whose parameters are valid by construction; an InputError here
+// is a bug in the experiment code itself.
+func mustRandom(p core.Problem, trials int, rng *xrand.Rand, opts ...core.Option) core.Placement {
+	pl, err := core.RandomPlacement(p, trials, rng, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: random baseline: %v", err))
+	}
+	return pl
+}
 
 func (c Config) table1Params() (ks []int, pts []float64, m int) {
 	if c.Quick {
@@ -150,7 +162,7 @@ func (c Config) Fig1() Fig1Result {
 		panic(fmt.Sprintf("experiments: fig1 instance: %v", err))
 	}
 	aa := core.Sandwich(inst).Best
-	rnd := core.RandomPlacement(inst, trials, c.rng(301))
+	rnd := mustRandom(inst, trials, c.rng(301))
 	return Fig1Result{
 		AA:     aa,
 		Random: rnd,
@@ -229,7 +241,7 @@ func (c Config) Fig2() []*Figure {
 					panic(fmt.Sprintf("experiments: fig2 instance: %v", err))
 				}
 				aaY = append(aaY, float64(core.Sandwich(inst).Best.Sigma))
-				rndY = append(rndY, float64(core.RandomPlacement(inst, trials, c.rng(450+int64(10*di+pi))).Sigma))
+				rndY = append(rndY, float64(mustRandom(inst, trials, c.rng(450+int64(10*di+pi))).Sigma))
 			}
 			fig.Series = append(fig.Series,
 				Series{Name: fmt.Sprintf("AA p_t=%.2f", pt), Y: aaY},

@@ -106,7 +106,7 @@ func (c Config) Ext3() *Figure {
 		frozen := core.Sandwich(frozenProb).Best
 		frozenY = append(frozenY, float64(actualProb.Sigma(frozen.Selection)))
 
-		rnd := core.RandomPlacement(actualProb, trials, c.rng(975+int64(k)))
+		rnd := mustRandom(actualProb, trials, c.rng(975+int64(k)))
 		rndY = append(rndY, float64(rnd.Sigma))
 	}
 	fig.Series = append(fig.Series,

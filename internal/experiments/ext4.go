@@ -76,7 +76,7 @@ func (c Config) Ext4() *Figure {
 		awareY = append(awareY, float64(aware.Sigma))
 		blind := core.Sandwich(unweighted).Best
 		blindY = append(blindY, float64(weighted.Sigma(blind.Selection)))
-		rnd := core.RandomPlacement(weighted, trials, c.rng(985+int64(k)))
+		rnd := mustRandom(weighted, trials, c.rng(985+int64(k)))
 		rndY = append(rndY, float64(rnd.Sigma))
 	}
 	fig.Series = append(fig.Series,

@@ -61,7 +61,7 @@ func (c Config) Ext1() []*Figure {
 			diamY = append(diamY, float64(inst.SigmaEdges(diam)))
 			avg := baselines.AvgDistanceGreedy(ds.g, ds.table, k, sampleSize, c.rng(910+int64(di)))
 			avgY = append(avgY, float64(inst.SigmaEdges(avg)))
-			rndY = append(rndY, float64(core.RandomPlacement(inst, trials, c.rng(920+int64(di))).Sigma))
+			rndY = append(rndY, float64(mustRandom(inst, trials, c.rng(920+int64(di))).Sigma))
 		}
 		fig.Series = append(fig.Series,
 			Series{Name: "MSC (AA)", Y: aaY},

@@ -1,0 +1,85 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDocument feeds arbitrary bytes to the JSON reader. The
+// contract under hostile input is sharp: either a Document whose
+// invariants all hold (it re-validates and builds a graph), or an error
+// wrapping ErrInvalid — never a panic, never a silently malformed
+// document.
+func FuzzReadDocument(f *testing.F) {
+	f.Add([]byte(`{"nodes":3,"edges":[{"u":0,"v":1,"p_fail":0.1}],"pairs":[[0,2]],"failure_threshold":0.2,"budget":1}`))
+	f.Add([]byte(`{"nodes":0}`))
+	f.Add([]byte(`{"nodes":-5,"edges":[]}`))
+	f.Add([]byte(`{"nodes":2147483647}`))
+	f.Add([]byte(`{"nodes":2,"edges":[{"u":0,"v":0,"p_fail":0}]}`))
+	f.Add([]byte(`{"nodes":2,"edges":[{"u":0,"v":1,"p_fail":1.0}]}`))
+	f.Add([]byte(`{"nodes":2,"edges":[{"u":0,"v":1,"p_fail":-0.5}]}`))
+	f.Add([]byte(`{"nodes":2,"edges":[{"u":0,"v":1,"p_fail":0.1},{"u":1,"v":0,"p_fail":0.2}]}`))
+	f.Add([]byte(`{"nodes":2,"edges":[{"u":0,"v":5,"p_fail":0.1}]}`))
+	f.Add([]byte(`{"nodes":3,"coords":[[0,0]],"edges":[]}`))
+	f.Add([]byte(`{"nodes":2,"labels":["a"],"edges":[]}`))
+	f.Add([]byte(`{"nodes":2,"edges":[],"pairs":[[0,0]]}`))
+	f.Add([]byte(`{"nodes":2,"edges":[],"pairs":[[0,1],[1,0]]}`))
+	f.Add([]byte(`{"nodes":2,"edges":[],"failure_threshold":1.5}`))
+	f.Add([]byte(`{"nodes":2,"edges":[],"budget":-3}`))
+	f.Add([]byte(`{"nodes":2,"coords":[[1e999,0],[0,0]],"edges":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("ReadJSON error %v does not wrap ErrInvalid", err)
+			}
+			return
+		}
+		// An accepted document must satisfy its own invariants and build.
+		if verr := doc.Validate(); verr != nil {
+			t.Fatalf("accepted document fails Validate: %v", verr)
+		}
+		if _, gerr := doc.Graph(); gerr != nil {
+			t.Fatalf("validated document fails Graph: %v", gerr)
+		}
+		if _, perr := doc.PairSet(); perr != nil {
+			t.Fatalf("validated document fails PairSet: %v", perr)
+		}
+	})
+}
+
+// FuzzReadEdgeList feeds arbitrary text to the edge-list reader: a valid
+// graph or an ErrInvalid-wrapping error, never a panic.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1 0.5\n1 2 0.25\n")
+	f.Add("0 1\n")
+	f.Add("# comment\n\n0 1 0.1\n")
+	f.Add("0 0 0.1\n")
+	f.Add("-1 2 0.1\n")
+	f.Add("0 1 NaN\n")
+	f.Add("0 1 +Inf\n")
+	f.Add("0 1 1.0\n")
+	f.Add("0 1 -0.0001\n")
+	f.Add("0 999999999 0.1\n")
+	f.Add("0 1 0.1\n1 0 0.2\n")
+	f.Add("0 1 0.1 extra\n")
+	f.Add("x y z\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadEdgeList(strings.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("ReadEdgeList error %v does not wrap ErrInvalid", err)
+			}
+			return
+		}
+		if g.N() <= 0 || g.N() > MaxNodes {
+			t.Fatalf("accepted graph has n = %d", g.N())
+		}
+	})
+}

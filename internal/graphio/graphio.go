@@ -83,13 +83,15 @@ func FromGraph(g *graph.Graph, ps *pairs.Set, pt float64, k int) Document {
 	return doc
 }
 
-// Graph reconstructs the network from the document.
+// Graph reconstructs the network from the document after a full
+// Validate pass, so a malformed document surfaces as a *ValidationError
+// rather than a builder error deep in construction.
 func (doc Document) Graph() (*graph.Graph, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
 	b := graph.NewBuilder(doc.Nodes)
 	if doc.Coords != nil {
-		if len(doc.Coords) != doc.Nodes {
-			return nil, fmt.Errorf("graphio: %d coords for %d nodes", len(doc.Coords), doc.Nodes)
-		}
 		coords := make([]geom.Point, len(doc.Coords))
 		for i, c := range doc.Coords {
 			coords[i] = geom.Point{X: c[0], Y: c[1]}
@@ -100,9 +102,6 @@ func (doc Document) Graph() (*graph.Graph, error) {
 		b.SetLabels(doc.Labels)
 	}
 	for _, e := range doc.Edges {
-		if e.Fail < 0 || e.Fail >= 1 {
-			return nil, fmt.Errorf("graphio: edge (%d,%d) failure %v outside [0, 1)", e.U, e.V, e.Fail)
-		}
 		b.AddEdge(e.U, e.V, failprob.LengthFromProb(e.Fail))
 	}
 	return b.Build()
@@ -128,15 +127,18 @@ func WriteJSON(w io.Writer, doc Document) error {
 	return enc.Encode(doc)
 }
 
-// ReadJSON decodes a document.
+// ReadJSON decodes and validates a document. Malformed JSON and
+// documents violating the structural invariants (see Document.Validate)
+// both come back as a *ValidationError wrapping ErrInvalid; ReadJSON
+// never panics, whatever the input.
 func ReadJSON(r io.Reader) (Document, error) {
 	var doc Document
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&doc); err != nil {
-		return Document{}, fmt.Errorf("graphio: decode: %w", err)
+		return Document{}, &ValidationError{Format: "json", Field: "document", Msg: "decode: " + err.Error()}
 	}
-	if doc.Nodes <= 0 {
-		return Document{}, errors.New("graphio: document missing node count")
+	if err := doc.Validate(); err != nil {
+		return Document{}, err
 	}
 	return doc, nil
 }
@@ -154,13 +156,18 @@ func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 }
 
 // ReadEdgeList decodes "u v p_fail" lines (p_fail optional, default 0).
-// The node count is one past the largest id mentioned.
+// The node count is one past the largest id mentioned. Every malformed
+// line — wrong field count, unparseable or negative or over-cap ids,
+// self-loops, duplicate edges, NaN or out-of-range probabilities — is
+// rejected with a *ValidationError naming the line; ReadEdgeList never
+// panics, whatever the input.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	type rec struct {
 		u, v graph.NodeID
 		p    float64
 	}
 	var recs []rec
+	seen := make(map[[2]graph.NodeID]bool)
 	maxID := graph.NodeID(-1)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -173,27 +180,35 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 2 && len(fields) != 3 {
-			return nil, fmt.Errorf("graphio: line %d: want 2 or 3 fields, got %d", lineNo, len(fields))
+			return nil, lineErr(lineNo, "edge", "want 2 or 3 fields, got %d", len(fields))
 		}
 		u64, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graphio: line %d: u: %w", lineNo, err)
+			return nil, lineErr(lineNo, "u", "%v", err)
 		}
 		v64, err := strconv.ParseInt(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graphio: line %d: v: %w", lineNo, err)
+			return nil, lineErr(lineNo, "v", "%v", err)
 		}
 		p := 0.0
 		if len(fields) == 3 {
 			p, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("graphio: line %d: p_fail: %w", lineNo, err)
-			}
-			if p < 0 || p >= 1 {
-				return nil, fmt.Errorf("graphio: line %d: p_fail %v outside [0, 1)", lineNo, p)
+				return nil, lineErr(lineNo, "p_fail", "%v", err)
 			}
 		}
 		u, v := graph.NodeID(u64), graph.NodeID(v64)
+		if err := validateEdgeRec(lineNo, u, v, p, len(fields) == 3); err != nil {
+			return nil, err
+		}
+		key := [2]graph.NodeID{u, v}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if seen[key] {
+			return nil, lineErr(lineNo, "edge", "duplicate edge (%d,%d)", u, v)
+		}
+		seen[key] = true
 		recs = append(recs, rec{u: u, v: v, p: p})
 		if u > maxID {
 			maxID = u
@@ -203,10 +218,13 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, lineErr(lineNo+1, "line", "%v", err)
+		}
 		return nil, fmt.Errorf("graphio: read edge list: %w", err)
 	}
 	if maxID < 0 {
-		return nil, errors.New("graphio: empty edge list")
+		return nil, &ValidationError{Format: "edgelist", Field: "edges", Msg: "empty edge list"}
 	}
 	b := graph.NewBuilder(int(maxID) + 1)
 	for _, rc := range recs {

@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -145,6 +146,78 @@ func TestReadEdgeListErrors(t *testing.T) {
 	for i, in := range cases {
 		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
 			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		doc   Document
+		field string
+	}{
+		{"no nodes", Document{}, "nodes"},
+		{"negative nodes", Document{Nodes: -1}, "nodes"},
+		{"over cap", Document{Nodes: MaxNodes + 1}, "nodes"},
+		{"coord count", Document{Nodes: 2, Coords: [][2]float64{{0, 0}}}, "coords"},
+		{"coord NaN", Document{Nodes: 1, Coords: [][2]float64{{math.NaN(), 0}}}, "coords[0]"},
+		{"label count", Document{Nodes: 2, Labels: []string{"a"}}, "labels"},
+		{"edge range", Document{Nodes: 2, Edges: []EdgeRecord{{U: 0, V: 7}}}, "edges[0]"},
+		{"self loop", Document{Nodes: 2, Edges: []EdgeRecord{{U: 1, V: 1}}}, "edges[0]"},
+		{"p_fail NaN", Document{Nodes: 2, Edges: []EdgeRecord{{U: 0, V: 1, Fail: math.NaN()}}}, "edges[0].p_fail"},
+		{"p_fail one", Document{Nodes: 2, Edges: []EdgeRecord{{U: 0, V: 1, Fail: 1}}}, "edges[0].p_fail"},
+		{"dup edge", Document{Nodes: 2, Edges: []EdgeRecord{{U: 0, V: 1, Fail: 0.1}, {U: 1, V: 0, Fail: 0.2}}}, "edges[1]"},
+		{"pair range", Document{Nodes: 2, Pairs: [][2]int32{{0, 9}}}, "pairs[0]"},
+		{"pair self", Document{Nodes: 2, Pairs: [][2]int32{{1, 1}}}, "pairs[0]"},
+		{"dup pair", Document{Nodes: 2, Pairs: [][2]int32{{0, 1}, {1, 0}}}, "pairs[1]"},
+		{"threshold NaN", Document{Nodes: 1, FailureThreshold: math.NaN()}, "failure_threshold"},
+		{"threshold one", Document{Nodes: 1, FailureThreshold: 1}, "failure_threshold"},
+		{"negative budget", Document{Nodes: 1, Budget: -2}, "budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.doc.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.doc)
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("error %v does not wrap ErrInvalid", err)
+			}
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("error %v is not a *ValidationError", err)
+			}
+			if verr.Field != tc.field {
+				t.Fatalf("Field = %q, want %q (err: %v)", verr.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+func TestReadEdgeListTypedErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		line int
+	}{
+		{"0 0 0.1\n", 1},                // self-loop
+		{"-3 1 0.1\n", 1},               // negative id
+		{"0 1 NaN\n", 1},                // NaN slips past < > comparisons
+		{"# c\n0 1 0.1\n0 1 0.2\n", 3},  // duplicate edge
+		{"0 1 0.1\n0 999999999 0.1\n", 2}, // id over cap
+	}
+	for i, tc := range cases {
+		_, err := ReadEdgeList(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("case %d: accepted %q", i, tc.in)
+			continue
+		}
+		var verr *ValidationError
+		if !errors.As(err, &verr) || !errors.Is(err, ErrInvalid) {
+			t.Errorf("case %d: error %v is not a typed validation error", i, err)
+			continue
+		}
+		if verr.Line != tc.line {
+			t.Errorf("case %d: Line = %d, want %d (err: %v)", i, verr.Line, tc.line, err)
 		}
 	}
 }

@@ -1,0 +1,147 @@
+package graphio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"msc/internal/graph"
+)
+
+// ErrInvalid is the sentinel wrapped by every input-validation failure in
+// this package; callers branch on errors.Is(err, ErrInvalid) to separate
+// hostile or malformed files from I/O failures.
+var ErrInvalid = errors.New("graphio: invalid input")
+
+// MaxNodes caps the node count a decoded document or edge list may
+// declare. Node ids size allocations (adjacency lists, distance tables),
+// so a hostile file claiming 2^31 nodes must be rejected at parse time,
+// not at the first out-of-memory allocation. Large-scale callers may
+// raise it.
+var MaxNodes = 4 << 20
+
+// ValidationError pinpoints one malformed field of an input document or
+// edge list. It unwraps to ErrInvalid.
+type ValidationError struct {
+	// Format is the input codec: "json" or "edgelist".
+	Format string
+	// Field names the offending field, e.g. "edges[3].p_fail".
+	Field string
+	// Line is the 1-based source line for line-oriented formats; 0 when
+	// the format has no useful line structure.
+	Line int
+	// Msg says what is wrong with the value.
+	Msg string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("graphio: %s line %d: %s: %s", e.Format, e.Line, e.Field, e.Msg)
+	}
+	return fmt.Sprintf("graphio: %s: %s: %s", e.Format, e.Field, e.Msg)
+}
+
+func (e *ValidationError) Unwrap() error { return ErrInvalid }
+
+func jsonErr(field, format string, args ...any) error {
+	return &ValidationError{Format: "json", Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+func lineErr(line int, field, format string, args ...any) error {
+	return &ValidationError{Format: "edgelist", Field: field, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the document's structural invariants — everything the
+// solvers assume and the graph builder cannot express as a typed error:
+// node count in (0, MaxNodes], coordinate/label arity, finite
+// coordinates, edge endpoints in range with p_fail ∈ [0, 1) and no NaN/∞,
+// no self-loops or duplicate edges, pairs in range and distinct, the
+// threshold in [0, 1), and a non-negative budget. ReadJSON calls it on
+// every decoded document; callers constructing documents in code may call
+// it directly.
+func (doc Document) Validate() error {
+	if doc.Nodes <= 0 {
+		return jsonErr("nodes", "must be positive, got %d", doc.Nodes)
+	}
+	if doc.Nodes > MaxNodes {
+		return jsonErr("nodes", "%d exceeds the %d-node cap", doc.Nodes, MaxNodes)
+	}
+	if doc.Coords != nil && len(doc.Coords) != doc.Nodes {
+		return jsonErr("coords", "%d entries for %d nodes", len(doc.Coords), doc.Nodes)
+	}
+	for i, c := range doc.Coords {
+		if !isFinite(c[0]) || !isFinite(c[1]) {
+			return jsonErr(fmt.Sprintf("coords[%d]", i), "non-finite position (%v, %v)", c[0], c[1])
+		}
+	}
+	if doc.Labels != nil && len(doc.Labels) != doc.Nodes {
+		return jsonErr("labels", "%d entries for %d nodes", len(doc.Labels), doc.Nodes)
+	}
+	seenEdges := make(map[[2]int32]bool, len(doc.Edges))
+	for i, e := range doc.Edges {
+		field := fmt.Sprintf("edges[%d]", i)
+		if e.U < 0 || e.V < 0 || int(e.U) >= doc.Nodes || int(e.V) >= doc.Nodes {
+			return jsonErr(field, "endpoint (%d,%d) outside 0..%d", e.U, e.V, doc.Nodes-1)
+		}
+		if e.U == e.V {
+			return jsonErr(field, "self-loop at node %d", e.U)
+		}
+		if math.IsNaN(e.Fail) || e.Fail < 0 || e.Fail >= 1 {
+			return jsonErr(field+".p_fail", "%v outside [0, 1)", e.Fail)
+		}
+		key := [2]int32{e.U, e.V}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if seenEdges[key] {
+			return jsonErr(field, "duplicate edge (%d,%d)", e.U, e.V)
+		}
+		seenEdges[key] = true
+	}
+	seenPairs := make(map[[2]int32]bool, len(doc.Pairs))
+	for i, p := range doc.Pairs {
+		field := fmt.Sprintf("pairs[%d]", i)
+		if p[0] < 0 || p[1] < 0 || int(p[0]) >= doc.Nodes || int(p[1]) >= doc.Nodes {
+			return jsonErr(field, "pair (%d,%d) outside 0..%d", p[0], p[1], doc.Nodes-1)
+		}
+		if p[0] == p[1] {
+			return jsonErr(field, "pair of node %d with itself", p[0])
+		}
+		key := [2]int32{p[0], p[1]}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if seenPairs[key] {
+			return jsonErr(field, "duplicate pair (%d,%d)", p[0], p[1])
+		}
+		seenPairs[key] = true
+	}
+	if math.IsNaN(doc.FailureThreshold) || doc.FailureThreshold < 0 || doc.FailureThreshold >= 1 {
+		return jsonErr("failure_threshold", "%v outside [0, 1)", doc.FailureThreshold)
+	}
+	if doc.Budget < 0 {
+		return jsonErr("budget", "must be non-negative, got %d", doc.Budget)
+	}
+	return nil
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// validateEdgeRec rejects one edge-list record: negative, self-looped,
+// over-cap ids and NaN or out-of-range failure probabilities, each
+// reported with its source line.
+func validateEdgeRec(line int, u, v graph.NodeID, p float64, explicitP bool) error {
+	if u < 0 || v < 0 {
+		return lineErr(line, "edge", "negative node id (%d,%d)", u, v)
+	}
+	if int(u) >= MaxNodes || int(v) >= MaxNodes {
+		return lineErr(line, "edge", "node id (%d,%d) exceeds the %d-node cap", u, v, MaxNodes)
+	}
+	if u == v {
+		return lineErr(line, "edge", "self-loop at node %d", u)
+	}
+	if explicitP && (math.IsNaN(p) || p < 0 || p >= 1) {
+		return lineErr(line, "p_fail", "%v outside [0, 1)", p)
+	}
+	return nil
+}

@@ -1,10 +1,30 @@
 package shortestpath
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"msc/internal/graph"
 )
+
+// PanicError carries a panic recovered from an evaluator worker goroutine
+// back to the caller's goroutine. Without it an evaluator-shard panic
+// would crash the whole process (nothing can recover a panic on another
+// goroutine); with it the panic unwinds the caller's stack like any
+// other, where core.ParallelFor or a test harness can catch and type it.
+type PanicError struct {
+	// Shard is the panicking worker's index; Lo/Hi its query range.
+	Shard, Lo, Hi int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("shortestpath: panic in evaluator shard %d (queries [%d,%d)): %v", e.Shard, e.Lo, e.Hi, e.Value)
+}
 
 // Evaluator batches distance queries against one Overlay across multiple
 // goroutines. An Overlay is immutable after construction, so per-pair Dist
@@ -83,12 +103,16 @@ func (e *Evaluator) DistRows(srcs []graph.NodeID, rows [][]float64) {
 }
 
 // shard splits [0, n) into contiguous blocks, one goroutine per non-empty
-// block, and waits for all of them.
+// block, and waits for all of them. A panic inside a worker is recovered
+// there — so every other shard drains and the WaitGroup completes — and
+// the first panicking shard, in shard order, is re-raised on the caller's
+// goroutine as a *PanicError.
 func (e *Evaluator) shard(n int, fn func(shard, lo, hi int)) {
 	workers := e.workers
 	if workers > n {
 		workers = n
 	}
+	panics := make([]*PanicError, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := n * w / workers
@@ -99,8 +123,22 @@ func (e *Evaluator) shard(n int, fn func(shard, lo, hi int)) {
 		wg.Add(1)
 		go func(shard, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if inner, ok := r.(*PanicError); ok {
+						panics[shard] = inner
+						return
+					}
+					panics[shard] = &PanicError{Shard: shard, Lo: lo, Hi: hi, Value: r, Stack: debug.Stack()}
+				}
+			}()
 			fn(shard, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 }

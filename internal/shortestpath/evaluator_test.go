@@ -1,0 +1,54 @@
+package shortestpath
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShardPanicIsolation: a panic in one evaluator worker must drain the
+// others, leak no goroutines, and surface as a typed *PanicError on the
+// caller's goroutine with the failing shard's query range and stack.
+func TestShardPanicIsolation(t *testing.T) {
+	e := &Evaluator{workers: 4}
+	before := runtime.NumGoroutine()
+	var got *PanicError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic did not propagate")
+			}
+			var ok bool
+			got, ok = r.(*PanicError)
+			if !ok {
+				t.Fatalf("recovered %T, want *PanicError", r)
+			}
+		}()
+		e.shard(100, func(shard, lo, hi int) {
+			if shard == 3 {
+				panic("bad query")
+			}
+		})
+	}()
+	if got.Shard != 3 || got.Value != "bad query" {
+		t.Fatalf("wrong panic surfaced: %+v", got)
+	}
+	if got.Lo >= got.Hi || got.Hi > 100 {
+		t.Fatalf("range [%d, %d) not a sub-range of [0, 100)", got.Lo, got.Hi)
+	}
+	if len(got.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	if !strings.Contains(got.Error(), "shard 3") {
+		t.Fatalf("Error() = %q", got.Error())
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

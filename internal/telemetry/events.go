@@ -87,6 +87,41 @@ type DynamicStepEvent struct {
 // EventKind implements Event.
 func (DynamicStepEvent) EventKind() string { return "dynamic_step" }
 
+// CheckpointSolution is one archived solution inside a CheckpointEvent.
+type CheckpointSolution struct {
+	// Selection holds sorted candidate indices.
+	Selection []int `json:"selection"`
+	// Sigma is σ(Selection).
+	Sigma int `json:"sigma"`
+}
+
+// CheckpointEvent snapshots a resumable randomized solver (EA/AEA) at an
+// iteration boundary: the RNG stream position, the population, the best
+// feasible solution so far, and the iteration count. Restoring all four and
+// continuing reproduces the straight-through run bit for bit, which
+// checkpoint_test.go locks in. Events ride the same JSONL telemetry stream
+// as round traces; `mscplace -resume f.jsonl` picks up the last one.
+type CheckpointEvent struct {
+	// Algorithm identifies the solver the snapshot belongs to: "ea" or
+	// "aea". Resume refuses snapshots from a different algorithm.
+	Algorithm string `json:"algorithm"`
+	// Round is the number of iterations completed when the snapshot was
+	// taken; the resumed run continues with iteration Round.
+	Round int `json:"round"`
+	// Seed and Draws locate the RNG stream position (xrand.Rand.State).
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+	// Population is the solver's archive in its internal order.
+	Population []CheckpointSolution `json:"population"`
+	// Best is the best feasible solution found so far.
+	Best CheckpointSolution `json:"best"`
+	// Evaluations counts σ evaluations performed so far (EA; 0 for AEA).
+	Evaluations int `json:"evaluations"`
+}
+
+// EventKind implements Event.
+func (CheckpointEvent) EventKind() string { return "checkpoint" }
+
 // RunRecord is the machine-readable record of one solver or experiment
 // run. The schema is stable: every field below is always present (ints
 // default to 0, Sigma to −1 when no single σ applies) so CI validation and
@@ -120,6 +155,10 @@ type RunRecord struct {
 	// Counters is the work performed by the run (snapshot difference of
 	// the global counters).
 	Counters CounterSnapshot `json:"counters"`
+	// StopReason records how the solver run ended — "converged",
+	// "deadline", "canceled", "eval_budget" — or "" for runs that predate
+	// supervision or have no single solver loop (experiment suites).
+	StopReason string `json:"stop_reason"`
 }
 
 // EventKind implements Event.

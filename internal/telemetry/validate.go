@@ -14,7 +14,7 @@ import (
 // an event struct (without omitempty) becomes required automatically.
 var requiredKeys = func() map[string][]string {
 	req := make(map[string][]string)
-	for _, e := range []Event{RoundEvent{}, SandwichEvent{}, DynamicStepEvent{}, RunRecord{}} {
+	for _, e := range []Event{RoundEvent{}, SandwichEvent{}, DynamicStepEvent{}, CheckpointEvent{}, RunRecord{}} {
 		line, err := EncodeEvent(e)
 		if err != nil {
 			panic(fmt.Sprintf("telemetry: zero-value %q does not encode: %v", e.EventKind(), err))
@@ -85,6 +85,45 @@ func ValidateJSONL(r io.Reader) (counts map[string]int, err error) {
 		return counts, err
 	}
 	return counts, nil
+}
+
+// LastCheckpoint scans a JSONL telemetry stream and returns the last
+// "checkpoint" event it contains — the snapshot `mscplace -resume` picks
+// up. It returns an error when the stream holds no checkpoint or a
+// checkpoint line does not decode.
+func LastCheckpoint(r io.Reader) (*CheckpointEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var last *CheckpointEvent
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("line %d: not a JSON object: %v", lineNo, err)
+		}
+		if probe.Event != (CheckpointEvent{}).EventKind() {
+			continue
+		}
+		var cp CheckpointEvent
+		if err := json.Unmarshal(line, &cp); err != nil {
+			return nil, fmt.Errorf("line %d: malformed checkpoint: %v", lineNo, err)
+		}
+		last = &cp
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if last == nil {
+		return nil, fmt.Errorf("telemetry: stream holds no checkpoint event")
+	}
+	return last, nil
 }
 
 // counterKeys are the required fields of a CounterSnapshot object, derived

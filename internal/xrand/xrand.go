@@ -17,12 +17,79 @@ import (
 // concurrent use; derive independent streams with Split instead of sharing.
 type Rand struct {
 	src *rand.Rand
+	cnt *countingSource
+}
+
+// countingSource wraps a rand.Source64 and counts how many values it has
+// produced. Every Int63 or Uint64 call advances the underlying generator by
+// exactly one state step, so (seed, draws) fully captures the stream
+// position: rebuilding the source and discarding draws values reproduces the
+// state bit-for-bit. The wrapper forwards values untouched, so streams are
+// identical to an unwrapped math/rand source.
+type countingSource struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// newCounting builds a counting source over the stdlib generator.
+func newCounting(seed int64) *countingSource {
+	// rand.NewSource's concrete type implements Source64 (one state step
+	// per value); the assertion is checked by TestStateRestore.
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
 }
 
 // New returns a Rand seeded with the given seed. Equal seeds yield equal
 // streams across runs and platforms.
 func New(seed int64) *Rand {
-	return &Rand{src: rand.New(rand.NewSource(seed))}
+	cnt := newCounting(seed)
+	return &Rand{src: rand.New(cnt), cnt: cnt}
+}
+
+// State reports the stream position as (seed, draws): the seed the stream
+// was created with and the number of values drawn so far. The pair is a
+// complete checkpoint — NewFromState(seed, draws) continues the stream
+// exactly where r left off.
+func (r *Rand) State() (seed int64, draws uint64) {
+	return r.cnt.seed, r.cnt.draws
+}
+
+// Restore rewinds r to the stream position (seed, draws), discarding its
+// current state. Cost is O(draws), which is fine for the checkpoint sizes
+// the solvers produce (one draw per mutation or swap decision).
+func (r *Rand) Restore(seed int64, draws uint64) {
+	cnt := newCounting(seed)
+	src := rand.New(cnt)
+	for i := uint64(0); i < draws; i++ {
+		src.Uint64()
+	}
+	r.src, r.cnt = src, cnt
+}
+
+// NewFromState returns a Rand positioned at (seed, draws), as reported by
+// State. NewFromState(s, 0) is equivalent to New(s).
+func NewFromState(seed int64, draws uint64) *Rand {
+	r := New(seed)
+	if draws > 0 {
+		r.Restore(seed, draws)
+	}
+	return r
 }
 
 // Split derives a new independent Rand from r. The derived stream is a

@@ -2,8 +2,69 @@ package xrand
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
+
+// TestStreamMatchesStdlib pins the wrapper transparency guarantee: the
+// counting source must not alter the values math/rand would produce, or
+// every seeded experiment in the repository silently changes.
+func TestStreamMatchesStdlib(t *testing.T) {
+	r := New(42)
+	std := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		switch i % 4 {
+		case 0:
+			if got, want := r.Int63(), std.Int63(); got != want {
+				t.Fatalf("draw %d: Int63 %d != stdlib %d", i, got, want)
+			}
+		case 1:
+			if got, want := r.Float64(), std.Float64(); got != want {
+				t.Fatalf("draw %d: Float64 %v != stdlib %v", i, got, want)
+			}
+		case 2:
+			if got, want := r.Intn(97), std.Intn(97); got != want {
+				t.Fatalf("draw %d: Intn %d != stdlib %d", i, got, want)
+			}
+		case 3:
+			if got, want := r.NormFloat64(), std.NormFloat64(); got != want {
+				t.Fatalf("draw %d: NormFloat64 %v != stdlib %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestStateRestore(t *testing.T) {
+	// Burn a heterogeneous prefix (every sampler draws through the counted
+	// source), checkpoint, and continue on both the original and a restored
+	// copy: the suffixes must agree bit-for-bit.
+	r := New(99)
+	for i := 0; i < 50; i++ {
+		r.Intn(1000)
+		r.Float64()
+		r.Binomial(100, 0.05)
+		r.SampleDistinct(30, 4)
+		r.NormFloat64()
+	}
+	seed, draws := r.State()
+	if seed != 99 || draws == 0 {
+		t.Fatalf("State() = (%d, %d), want seed 99 and draws > 0", seed, draws)
+	}
+	fresh := NewFromState(seed, draws)
+	for i := 0; i < 200; i++ {
+		if a, b := r.Int63(), fresh.Int63(); a != b {
+			t.Fatalf("draw %d after restore diverged: %d != %d", i, a, b)
+		}
+	}
+	// Restore rewinds an existing Rand too.
+	r.Restore(99, 0)
+	ref := New(99)
+	for i := 0; i < 50; i++ {
+		if a, b := r.Int63(), ref.Int63(); a != b {
+			t.Fatalf("rewound draw %d diverged: %d != %d", i, a, b)
+		}
+	}
+}
 
 func TestDeterminism(t *testing.T) {
 	a, b := New(42), New(42)

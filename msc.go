@@ -49,7 +49,9 @@
 package msc
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"msc/internal/core"
 	"msc/internal/dynamic"
@@ -117,6 +119,29 @@ type (
 	// ParallelSearch is a Search whose candidate scans shard across
 	// workers after SetWorkers, with results identical to a serial scan.
 	ParallelSearch = core.ParallelSearch
+	// StopReason classifies why a solver run ended.
+	StopReason = core.StopReason
+	// StopInfo reports how a run ended (reason, rounds, σ); solvers attach
+	// it to Placement.Stop.
+	StopInfo = core.StopInfo
+	// ShardPanicError is the typed panic value a failing parallel-scan
+	// shard surfaces on the caller's goroutine.
+	ShardPanicError = core.ShardPanicError
+	// InputError reports a structurally invalid solver argument.
+	InputError = core.InputError
+	// Checkpoint snapshots a resumable EA/AEA run at an iteration
+	// boundary; see EAOptions.Resume / AEAOptions.Resume.
+	Checkpoint = telemetry.CheckpointEvent
+	// CheckpointSolution is one archived solution inside a Checkpoint.
+	CheckpointSolution = telemetry.CheckpointSolution
+)
+
+// Stop reasons attached to Placement.Stop by supervised solver runs.
+const (
+	StopConverged  = core.StopConverged
+	StopDeadline   = core.StopDeadline
+	StopCanceled   = core.StopCanceled
+	StopEvalBudget = core.StopEvalBudget
 )
 
 // Parallelism fixes the number of candidate-scan workers a solver may use:
@@ -128,6 +153,27 @@ func Parallelism(n int) Option { return core.Parallelism(n) }
 // SetDefaultParallelism sets the worker count used by solvers given no
 // explicit Parallelism option; n <= 0 restores the GOMAXPROCS default.
 func SetDefaultParallelism(n int) { core.SetDefaultParallelism(n) }
+
+// WithContext makes a solver run cancelable: when ctx is canceled the
+// solver stops at its next supervision point and returns the best
+// feasible placement found so far, with Placement.Stop reporting why and
+// how far it got. A nil or never-canceled context changes nothing — the
+// placement is bit-identical to an unsupervised run.
+func WithContext(ctx context.Context) Option { return core.WithContext(ctx) }
+
+// WithDeadline bounds a solver run's wall-clock time; d <= 0 means no
+// deadline. Combines with WithContext (whichever fires first stops the
+// run).
+func WithDeadline(d time.Duration) Option { return core.WithDeadline(d) }
+
+// NewRandFromState rebuilds a Rand at a previously captured (seed, draws)
+// state; used by checkpoint resume. See Rand.State.
+func NewRandFromState(seed int64, draws uint64) *Rand { return xrand.NewFromState(seed, draws) }
+
+// LastCheckpoint scans a telemetry JSONL stream (e.g. the file written by
+// mscplace -checkpoint) and returns its final checkpoint event, from
+// which an EA or AEA run can resume.
+func LastCheckpoint(r io.Reader) (*Checkpoint, error) { return telemetry.LastCheckpoint(r) }
 
 // NewGraphBuilder returns a builder for a network with n nodes.
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
@@ -205,8 +251,9 @@ func AEA(p Problem, opts AEAOptions, rng *Rand) AEAResult { return core.AEA(p, o
 func DefaultAEAOptions() AEAOptions { return core.DefaultAEAOptions() }
 
 // RandomPlacement returns the best of `trials` uniform random placements —
-// the baseline of §VII-C.
-func RandomPlacement(p Problem, trials int, rng *Rand, opts ...Option) Placement {
+// the baseline of §VII-C. It rejects trials < 1 and budgets exceeding the
+// candidate universe with a typed *InputError.
+func RandomPlacement(p Problem, trials int, rng *Rand, opts ...Option) (Placement, error) {
 	return core.RandomPlacement(p, trials, rng, opts...)
 }
 
