@@ -70,6 +70,7 @@ func run(ctx context.Context) error {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		svg      = flag.String("svg", "", "directory to write fig1 SVG renderings into")
 		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (results are identical either way)")
+		distB    = cli.AddDistBackendFlag(flag.CommandLine)
 		jsonl    = flag.String("jsonl", "", "write machine-readable run records as JSON lines to this file")
 		validate = flag.String("validate", "", "validate a JSONL run-record file against the telemetry schema and exit")
 		version  = flag.Bool("version", false, "print version and exit")
@@ -84,6 +85,11 @@ func run(ctx context.Context) error {
 		return validateFile(*validate)
 	}
 	core.SetDefaultParallelism(*par)
+	backend, err := core.ParseDistBackend(*distB)
+	if err != nil {
+		return err
+	}
+	core.SetDefaultDistBackend(backend)
 
 	ids, err := resolveIDs(*exp)
 	if err != nil {
@@ -123,14 +129,15 @@ func run(ctx context.Context) error {
 			// Config.Sink emits: no single σ applies, so Sigma is −1 by
 			// schema convention.
 			sink.Emit(telemetry.RunRecord{
-				Name:      id,
-				Algorithm: "experiment",
-				Seed:      *seed,
-				Workers:   *par,
-				Quick:     *quick,
-				Sigma:     -1,
-				WallMS:    float64(elapsed.Nanoseconds()) / 1e6,
-				Counters:  telemetry.Global().Snapshot().Sub(before),
+				Name:        id,
+				Algorithm:   "experiment",
+				Seed:        *seed,
+				Workers:     *par,
+				DistBackend: *distB,
+				Quick:       *quick,
+				Sigma:       -1,
+				WallMS:      float64(elapsed.Nanoseconds()) / 1e6,
+				Counters:    telemetry.Global().Snapshot().Sub(before),
 			})
 		}
 		fmt.Printf("[%s took %v]\n\n", id, elapsed.Round(time.Millisecond))

@@ -55,6 +55,7 @@ func run(ctx context.Context) error {
 		report   = flag.Bool("report", false, "print a per-pair diagnostic table")
 		refine   = flag.Bool("refine", false, "apply local-search swap refinement to the placement")
 		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (placements are identical either way)")
+		distB    = cli.AddDistBackendFlag(flag.CommandLine)
 		jsonl    = flag.String("jsonl", "", "write per-round telemetry events and a run record as JSON lines to this file")
 		deadline = flag.Duration("deadline", 0, "wall-clock budget for the solver; on expiry the best-so-far placement is emitted (0 = none)")
 		ckpt     = flag.String("checkpoint", "", "write resumable run snapshots as JSON lines to this file (ea, aea)")
@@ -69,6 +70,10 @@ func run(ctx context.Context) error {
 		return nil
 	}
 	msc.SetDefaultParallelism(*par)
+	backend, err := msc.ParseDistBackend(*distB)
+	if err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -127,7 +132,7 @@ func run(ctx context.Context) error {
 		return fmt.Errorf("no threshold: set one in the instance or pass -pt")
 	}
 	inst, err := msc.NewInstance(g, ps, msc.NewThreshold(threshold), budget,
-		&msc.InstanceOptions{AllowTrivial: true})
+		&msc.InstanceOptions{AllowTrivial: true, DistBackend: backend, Parallelism: *par})
 	if err != nil {
 		return err
 	}
@@ -235,20 +240,21 @@ func run(ctx context.Context) error {
 
 	if sink != nil {
 		sink.Emit(msc.RunRecord{
-			Name:       *alg,
-			Algorithm:  *alg,
-			Seed:       *seed,
-			Workers:    *par,
-			N:          inst.N(),
-			Pairs:      ps.Len(),
-			Candidates: inst.NumCandidates(),
-			K:          budget,
-			Pt:         threshold,
-			Sigma:      pl.Sigma,
-			MaxSigma:   inst.MaxSigma(),
-			WallMS:     float64(time.Since(start).Nanoseconds()) / 1e6,
-			Counters:   msc.CountersSnapshot().Sub(before),
-			StopReason: string(pl.Stop.Reason),
+			Name:        *alg,
+			Algorithm:   *alg,
+			Seed:        *seed,
+			Workers:     *par,
+			DistBackend: *distB,
+			N:           inst.N(),
+			Pairs:       ps.Len(),
+			Candidates:  inst.NumCandidates(),
+			K:           budget,
+			Pt:          threshold,
+			Sigma:       pl.Sigma,
+			MaxSigma:    inst.MaxSigma(),
+			WallMS:      float64(time.Since(start).Nanoseconds()) / 1e6,
+			Counters:    msc.CountersSnapshot().Sub(before),
+			StopReason:  string(pl.Stop.Reason),
 		})
 	}
 

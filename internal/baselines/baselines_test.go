@@ -19,7 +19,7 @@ func lineGraph(t *testing.T, n int) (*graph.Graph, *shortestpath.Table) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return g, shortestpath.NewTable(g)
+	return g, shortestpath.NewTable(g, 0)
 }
 
 func diameter(g *graph.Graph, table *shortestpath.Table, placed []graph.Edge) float64 {
@@ -63,7 +63,7 @@ func TestFarthestPairsBridgesComponents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	table := shortestpath.NewTable(g)
+	table := shortestpath.NewTable(g, 0)
 	placed := FarthestPairs(g, table, 1)
 	if len(placed) != 1 {
 		t.Fatal("no shortcut placed")
@@ -81,7 +81,7 @@ func TestFarthestPairsStopsAtZeroDiameter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	table := shortestpath.NewTable(g)
+	table := shortestpath.NewTable(g, 0)
 	if placed := FarthestPairs(g, table, 3); len(placed) != 0 {
 		t.Fatalf("placed %v on a zero-diameter graph", placed)
 	}
@@ -131,7 +131,7 @@ func TestAvgDistanceGreedyTinyGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	table := shortestpath.NewTable(g)
+	table := shortestpath.NewTable(g, 0)
 	placed := AvgDistanceGreedy(g, table, 2, 50, xrand.New(1))
 	// Only one candidate (0,1); placing it drops the mean to 0, the
 	// second round finds no further gain.

@@ -75,6 +75,16 @@ func Version(cmd string) string {
 	return b.String()
 }
 
+// AddDistBackendFlag registers the -dist-backend flag shared by the
+// solver-facing commands and returns the pointer receiving its value
+// after fs.Parse. The package stays solver-agnostic: values are plain
+// strings here, validated by the command via msc.ParseDistBackend /
+// core.ParseDistBackend.
+func AddDistBackendFlag(fs *flag.FlagSet) *string {
+	return fs.String("dist-backend", "auto",
+		"distance backend: auto|dense|lazy (auto = dense for small networks, lazy Dijkstra row cache above the node threshold)")
+}
+
 // Profile carries the three profiling flag values registered by
 // AddProfileFlags. The zero value (no flags set) is a no-op profile.
 type Profile struct {

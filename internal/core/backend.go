@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"msc/internal/graph"
+	"msc/internal/pairs"
+	"msc/internal/shortestpath"
+)
+
+// DistBackend selects the distance-source implementation backing an
+// Instance (see shortestpath.DistanceSource).
+type DistBackend string
+
+const (
+	// BackendAuto picks dense below DefaultLazyThreshold nodes and lazy at
+	// or above it (unless a process default was set, which takes
+	// precedence over the threshold).
+	BackendAuto DistBackend = ""
+	// BackendDense materializes the full n×n table eagerly (n Dijkstras
+	// at construction). Right when most rows get read: bound coverage
+	// construction, common-node coverage, threshold sweeps over one
+	// network.
+	BackendDense DistBackend = "dense"
+	// BackendLazy computes Dijkstra rows on demand and memoizes them in a
+	// sharded cache, with the social-pair endpoint rows pinned. Right when
+	// only a sparse row set is touched — GreedySigma/EA/AEA/LocalSearch
+	// read the rows of the 2m pair endpoints plus the shortcut endpoints
+	// of evaluated selections, so construction cost stops scaling with n.
+	BackendLazy DistBackend = "lazy"
+)
+
+// DefaultLazyThreshold is the node count at and above which BackendAuto
+// selects the lazy backend. Below it the dense table is cheap enough that
+// its O(1) row access wins; above it the n Dijkstras and n² float64s of
+// the eager build dominate instance construction (see EXPERIMENTS.md,
+// "Distance backends" for the measurements behind the value).
+const DefaultLazyThreshold = 512
+
+// defaultDistBackend holds the process-wide backend default used when
+// Options.DistBackend is BackendAuto; empty means "apply the threshold
+// rule". Set from the -dist-backend flag of the cmds.
+var defaultDistBackend atomic.Value // DistBackend
+
+// ParseDistBackend validates a -dist-backend flag value; "auto", "dense",
+// and "lazy" are accepted.
+func ParseDistBackend(s string) (DistBackend, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case string(BackendDense):
+		return BackendDense, nil
+	case string(BackendLazy):
+		return BackendLazy, nil
+	}
+	return BackendAuto, fmt.Errorf("core: unknown distance backend %q (want auto, dense, or lazy)", s)
+}
+
+// SetDefaultDistBackend sets the backend used by instances built with
+// BackendAuto; BackendAuto restores the node-threshold rule. It mirrors
+// SetDefaultParallelism so commands can wire one flag without threading an
+// option through every construction site.
+func SetDefaultDistBackend(b DistBackend) {
+	defaultDistBackend.Store(b)
+}
+
+// resolveDistBackend applies the explicit-option → process-default →
+// node-threshold resolution chain.
+func resolveDistBackend(b DistBackend, n int) DistBackend {
+	if b == BackendAuto {
+		if d, ok := defaultDistBackend.Load().(DistBackend); ok {
+			b = d
+		}
+	}
+	if b == BackendAuto {
+		if n >= DefaultLazyThreshold {
+			return BackendLazy
+		}
+		return BackendDense
+	}
+	return b
+}
+
+// newDistanceSource builds the distance backend for an instance: the
+// caller-supplied source if any, else a dense table (built with the
+// option's worker budget) or a lazy row cache with the social-pair
+// endpoint rows pinned, per the resolved backend.
+func newDistanceSource(g *graph.Graph, ps *pairs.Set, opts *Options) (shortestpath.DistanceSource, error) {
+	if opts != nil && opts.Table != nil {
+		if opts.Table.N() != g.N() {
+			return nil, fmt.Errorf("core: supplied table covers %d nodes, graph has %d", opts.Table.N(), g.N())
+		}
+		return opts.Table, nil
+	}
+	var backend DistBackend
+	parallelism, lazyMaxRows := 0, 0
+	if opts != nil {
+		backend = opts.DistBackend
+		parallelism = opts.Parallelism
+		lazyMaxRows = opts.LazyMaxRows
+	}
+	switch b := resolveDistBackend(backend, g.N()); b {
+	case BackendDense:
+		return shortestpath.NewTable(g, ResolveParallelism(parallelism)), nil
+	case BackendLazy:
+		lt := shortestpath.NewLazyTable(g, shortestpath.LazyOptions{MaxRows: lazyMaxRows})
+		// Deterministic pinning: pair-set node order is fixed by the pair
+		// set, so the pinned row set never depends on solver scheduling.
+		lt.Pin(ps.Nodes())
+		return lt, nil
+	default:
+		return nil, fmt.Errorf("core: unknown distance backend %q (want auto, dense, or lazy)", b)
+	}
+}

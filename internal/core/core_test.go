@@ -15,7 +15,7 @@ import (
 func testInstance(t *testing.T, n, m, k int, dt float64, rng *xrand.Rand) *Instance {
 	t.Helper()
 	g := randomConnectedGraph(t, n, 2*n, rng)
-	table := shortestpath.NewTable(g)
+	table := shortestpath.NewTable(g, 0)
 	ps, err := pairs.SampleViolating(table, dt, m, rng)
 	if err != nil {
 		t.Skipf("could not sample %d violating pairs: %v", m, err)

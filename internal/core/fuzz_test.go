@@ -80,6 +80,14 @@ func FuzzInstance(f *testing.F) {
 			}
 			t.Fatalf("NewInstance(n=%d, k=%d, pt=%v): %v", n, k, pt, err)
 		}
+		// The same shape on the lazy backend (with a tight row cap, so the
+		// eviction path fuzzes too) must agree with the dense instance on
+		// every placement below.
+		lazyInst, err := NewInstance(g, set, failprob.NewThreshold(pt), k,
+			&Options{AllowTrivial: true, DistBackend: BackendLazy, LazyMaxRows: 2})
+		if err != nil {
+			t.Fatalf("NewInstance(lazy, n=%d, k=%d, pt=%v): %v", n, k, pt, err)
+		}
 		m := set.Len()
 
 		checkSigma := func(what string, sigma int) {
@@ -92,6 +100,18 @@ func FuzzInstance(f *testing.F) {
 		checkSigma("GreedySigma", greedy.Sigma)
 		if par := GreedySigma(inst, Parallelism(4)); par.Sigma != greedy.Sigma {
 			t.Fatalf("greedy parallel σ %d != serial %d", par.Sigma, greedy.Sigma)
+		}
+		lazyGreedy := GreedySigma(lazyInst, Parallelism(4))
+		if lazyGreedy.Sigma != greedy.Sigma {
+			t.Fatalf("lazy-backend greedy σ %d != dense %d", lazyGreedy.Sigma, greedy.Sigma)
+		}
+		if len(lazyGreedy.Selection) != len(greedy.Selection) {
+			t.Fatalf("lazy-backend greedy selection %v != dense %v", lazyGreedy.Selection, greedy.Selection)
+		}
+		for i := range greedy.Selection {
+			if lazyGreedy.Selection[i] != greedy.Selection[i] {
+				t.Fatalf("lazy-backend greedy selection %v != dense %v", lazyGreedy.Selection, greedy.Selection)
+			}
 		}
 
 		sw := Sandwich(inst)

@@ -118,7 +118,7 @@ type Search interface {
 // immutable and safe for concurrent readers.
 type Instance struct {
 	g     *graph.Graph
-	table *shortestpath.Table
+	table shortestpath.DistanceSource
 	ps    *pairs.Set
 	thr   failprob.Threshold
 	k     int
@@ -171,9 +171,25 @@ type Options struct {
 	// AllowTrivial permits instances with m ≤ k, which the paper excludes
 	// as trivial (§III-C). Tests and examples may enable it.
 	AllowTrivial bool
-	// Table supplies a precomputed distance table (e.g. shared across
-	// thresholds); when nil NewInstance computes one.
-	Table *shortestpath.Table
+	// Table supplies a precomputed distance source (e.g. a dense table
+	// shared across thresholds, or a LazyTable shared across budgets);
+	// when nil NewInstance builds one per DistBackend.
+	Table shortestpath.DistanceSource
+	// DistBackend selects the distance backend built when Table is nil:
+	// dense all-pairs table, lazy Dijkstra row cache, or (the zero value)
+	// automatic selection — dense below DefaultLazyThreshold nodes, lazy
+	// at or above, unless SetDefaultDistBackend installed a process-wide
+	// choice. Placements, σ/μ/ν values, and all solver work counters
+	// except the Dijkstra and row-cache ones are identical across
+	// backends.
+	DistBackend DistBackend
+	// Parallelism bounds the workers used to build the dense table; <= 0
+	// resolves like the solvers' Parallelism option (package default,
+	// else GOMAXPROCS). The table is identical for every worker count.
+	Parallelism int
+	// LazyMaxRows caps the lazy backend's cached non-pinned rows; 0 means
+	// unbounded. Social-pair endpoint rows are always pinned and exempt.
+	LazyMaxRows int
 	// ExcludePairEndpoints removes the important-pair nodes from the
 	// candidate shortcut universe, so shortcuts may only land on relay
 	// nodes. Under the unrestricted universe greedy-σ trivially gains one
@@ -203,14 +219,9 @@ func NewInstance(g *graph.Graph, ps *pairs.Set, thr failprob.Threshold, k int, o
 	if ps.Len() <= k && (opts == nil || !opts.AllowTrivial) {
 		return nil, fmt.Errorf("%w: m=%d, k=%d", ErrTrivial, ps.Len(), k)
 	}
-	var table *shortestpath.Table
-	if opts != nil && opts.Table != nil {
-		if opts.Table.N() != g.N() {
-			return nil, fmt.Errorf("core: supplied table covers %d nodes, graph has %d", opts.Table.N(), g.N())
-		}
-		table = opts.Table
-	} else {
-		table = shortestpath.NewTable(g)
+	table, err := newDistanceSource(g, ps, opts)
+	if err != nil {
+		return nil, err
 	}
 	inst := &Instance{
 		g:     g,
@@ -282,8 +293,9 @@ func MustNewInstance(g *graph.Graph, ps *pairs.Set, thr failprob.Threshold, k in
 // Graph returns the underlying network.
 func (inst *Instance) Graph() *graph.Graph { return inst.g }
 
-// Table returns the precomputed all-pairs distance table.
-func (inst *Instance) Table() *shortestpath.Table { return inst.table }
+// Table returns the instance's distance source: a dense all-pairs table
+// or a lazy row cache, per Options.DistBackend.
+func (inst *Instance) Table() shortestpath.DistanceSource { return inst.table }
 
 // Pairs returns the important social pairs.
 func (inst *Instance) Pairs() *pairs.Set { return inst.ps }

@@ -157,7 +157,7 @@ func TestPlacementString(t *testing.T) {
 // Helpers shared with other test files.
 
 func shortestpathTable(g *graph.Graph) *shortestpath.Table {
-	return shortestpath.NewTable(g)
+	return shortestpath.NewTable(g, 0)
 }
 
 func thrD(d float64) failprob.Threshold {

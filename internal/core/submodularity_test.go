@@ -109,7 +109,7 @@ func TestCommonNodeReduction(t *testing.T) {
 
 func commonNodeInstance(t *testing.T, g *graph.Graph, u graph.NodeID, m, k int, dt float64, rng *xrand.Rand) *Instance {
 	t.Helper()
-	table := shortestpath.NewTable(g)
+	table := shortestpath.NewTable(g, 0)
 	ps, err := pairs.SampleViolatingWithCommonNode(table, dt, m, u, rng)
 	if err != nil {
 		return nil

@@ -312,7 +312,7 @@ func benchInstance(tb testing.TB, n, m, k int, dt float64, rng *xrand.Rand) *Ins
 	if err != nil {
 		tb.Fatal(err)
 	}
-	table := shortestpath.NewTable(g)
+	table := shortestpath.NewTable(g, 0)
 	ps, err := pairs.SampleViolating(table, dt, m, rng)
 	if err != nil {
 		tb.Skipf("could not sample %d violating pairs: %v", m, err)

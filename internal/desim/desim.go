@@ -198,7 +198,7 @@ type routeCache struct {
 func (rc *routeCache) routeFor(g *graph.Graph, epoch int, u, w graph.NodeID) []graph.NodeID {
 	if rc.table == nil || epoch != rc.epoch {
 		rc.epoch = epoch
-		rc.table = shortestpath.NewTable(g)
+		rc.table = shortestpath.NewTable(g, 0)
 		b := graph.NewBuilder(g.N())
 		for _, e := range g.Edges() {
 			b.AddEdge(e.U, e.V, e.Length)

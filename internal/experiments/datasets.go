@@ -68,7 +68,7 @@ func (c Config) rggDataset() dataset {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: rgg dataset: %v", err))
 	}
-	return dataset{name: "RG", g: g, table: shortestpath.NewTable(g)}
+	return dataset{name: "RG", g: g, table: shortestpath.NewTable(g, 0)}
 }
 
 func (c Config) socialDataset() dataset {
@@ -82,7 +82,7 @@ func (c Config) socialDataset() dataset {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: social dataset: %v", err))
 	}
-	return dataset{name: "Gowalla", g: net.Graph, table: shortestpath.NewTable(net.Graph)}
+	return dataset{name: "Gowalla", g: net.Graph, table: shortestpath.NewTable(net.Graph, 0)}
 }
 
 // instance samples m violating pairs at threshold pt and wraps everything

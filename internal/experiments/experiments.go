@@ -191,7 +191,7 @@ func (c Config) smallRGG(n int) dataset {
 	sub, _ := full.g.InducedSubgraph(keep)
 	comp := sub.LargestComponent()
 	sub2, _ := sub.InducedSubgraph(comp)
-	return dataset{name: "RG-small", g: sub2, table: shortestpath.NewTable(sub2)}
+	return dataset{name: "RG-small", g: sub2, table: shortestpath.NewTable(sub2, 0)}
 }
 
 // Fig2 regenerates Fig. 2: maintained connections of AA vs the random
@@ -410,7 +410,7 @@ func (c Config) dynSnapshotsAt(pt float64, nodes, m, T int, stream int64) dynSna
 		if err != nil {
 			panic(fmt.Sprintf("experiments: snapshot %d: %v", t, err))
 		}
-		table := shortestpath.NewTable(g)
+		table := shortestpath.NewTable(g, 0)
 		ps, err := pairs.SampleViolating(table, thr.D, m, prng)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: dynamic pairs t=%d: %v", t, err))

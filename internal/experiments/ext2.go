@@ -50,7 +50,7 @@ func (c Config) Ext2() *Figure {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: ext2 snapshot: %v", err))
 	}
-	table0 := shortestpath.NewTable(g0)
+	table0 := shortestpath.NewTable(g0, 0)
 	ps, err := pairs.SampleViolating(table0, thr.D, m, c.rng(951))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: ext2 pairs: %v", err))

@@ -58,7 +58,7 @@ func (c Config) Ext3() *Figure {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: ext3 snapshot: %v", err))
 	}
-	ps, err := pairs.SampleViolating(shortestpath.NewTable(gObs), thr.D, m, c.rng(971))
+	ps, err := pairs.SampleViolating(shortestpath.NewTable(gObs, 0), thr.D, m, c.rng(971))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: ext3 pairs: %v", err))
 	}
@@ -75,7 +75,7 @@ func (c Config) Ext3() *Figure {
 
 	// The frozen strawman: the last observed topology repeated.
 	frozenGraphs := make([]*gsnap, horizon)
-	frozenTable := shortestpath.NewTable(gObs)
+	frozenTable := shortestpath.NewTable(gObs, 0)
 	for h := range frozenGraphs {
 		frozenGraphs[h] = &gsnap{g: gObs, table: frozenTable}
 	}
@@ -131,7 +131,7 @@ func snapshotRange(tr *mobility.Trace, from, count int, fm netbuild.FailureModel
 		if err != nil {
 			panic(fmt.Sprintf("experiments: snapshot %d: %v", from+h, err))
 		}
-		out[h] = &gsnap{g: g, table: shortestpath.NewTable(g)}
+		out[h] = &gsnap{g: g, table: shortestpath.NewTable(g, 0)}
 	}
 	return out
 }

@@ -144,7 +144,7 @@ func (s *Set) TotalWeight() float64 {
 // shortest-path distance exceeds dt (i.e. pairs whose connection is NOT
 // maintained by the raw network), matching the evaluation setup of
 // §VII-A3. It returns an error if fewer than m such pairs exist.
-func SampleViolating(t *shortestpath.Table, dt float64, m int, rng *xrand.Rand) (*Set, error) {
+func SampleViolating(t shortestpath.DistanceSource, dt float64, m int, rng *xrand.Rand) (*Set, error) {
 	n := t.N()
 	var candidates []Pair
 	for u := 0; u < n; u++ {
@@ -169,7 +169,7 @@ func SampleViolating(t *shortestpath.Table, dt float64, m int, rng *xrand.Rand) 
 // SampleViolatingWithCommonNode selects m pairs that all contain the given
 // common node u and currently violate dt; for constructing MSC-CN
 // instances. It returns an error if fewer than m such pairs exist.
-func SampleViolatingWithCommonNode(t *shortestpath.Table, dt float64, m int, u graph.NodeID, rng *xrand.Rand) (*Set, error) {
+func SampleViolatingWithCommonNode(t shortestpath.DistanceSource, dt float64, m int, u graph.NodeID, rng *xrand.Rand) (*Set, error) {
 	n := t.N()
 	row := t.Row(u)
 	var candidates []Pair

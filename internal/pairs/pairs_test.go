@@ -87,7 +87,7 @@ func lineTable(t *testing.T, n int) *shortestpath.Table {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return shortestpath.NewTable(g)
+	return shortestpath.NewTable(g, 0)
 }
 
 func TestSampleViolating(t *testing.T) {
@@ -151,7 +151,7 @@ func TestSampleViolatingDisconnected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	table := shortestpath.NewTable(g)
+	table := shortestpath.NewTable(g, 0)
 	s, err := SampleViolating(table, 10, 3, xrand.New(3))
 	if err != nil {
 		t.Fatal(err)

@@ -8,8 +8,10 @@ import (
 )
 
 // Overlay answers shortest-path queries in the augmented graph G ∪ F, where
-// F is a set of zero-length shortcut edges, using only the precomputed
-// all-pairs table of G.
+// F is a set of zero-length shortcut edges, using only the distance rows
+// of G exposed by a DistanceSource. It reads exactly the rows of the query
+// endpoints and of the shortcut endpoints — with a LazyTable backend that
+// sparse access pattern is what keeps σ evaluation independent of n.
 //
 // Correctness argument: a shortest u→w path in G ∪ F decomposes into maximal
 // segments that stay inside G, separated by shortcut traversals. Each G
@@ -24,7 +26,7 @@ import (
 // for all O(n²) candidate edges f touches only the small terminal graph, not
 // the full network.
 type Overlay struct {
-	table *Table
+	table DistanceSource
 	// endpoints are the distinct shortcut endpoints, in first-seen order.
 	endpoints []graph.NodeID
 	// h[i][j] is the terminal-graph distance between endpoints[i] and
@@ -36,7 +38,7 @@ type Overlay struct {
 // are treated as length 0 regardless of their Length field (they are
 // reliable links, §III-C). An empty shortcut set yields an oracle that
 // simply forwards to the table.
-func NewOverlay(table *Table, shortcuts []graph.Edge) *Overlay {
+func NewOverlay(table DistanceSource, shortcuts []graph.Edge) *Overlay {
 	telemetry.Global().OverlayBuilds.Add(1)
 	o := &Overlay{table: table}
 	if len(shortcuts) == 0 {
@@ -95,12 +97,14 @@ func NewOverlay(table *Table, shortcuts []graph.Edge) *Overlay {
 // Dist returns the shortest-path distance between u and w in G ∪ F.
 func (o *Overlay) Dist(u, w graph.NodeID) float64 {
 	telemetry.Global().OverlayQueries.Add(1)
-	best := o.table.Dist(u, w)
+	// One Row call per endpoint: against a lazy backend every extra call
+	// is a cache lookup, so the base distance comes from u's row directly.
+	du := o.table.Row(u)
+	best := du[w]
 	t := len(o.endpoints)
 	if t == 0 {
 		return best
 	}
-	du := o.table.Row(u)
 	dw := o.table.Row(w)
 	for i := 0; i < t; i++ {
 		dui := du[o.endpoints[i]]

@@ -195,7 +195,7 @@ func TestPathToSelf(t *testing.T) {
 func TestTableMatchesDijkstra(t *testing.T) {
 	rng := xrand.New(5)
 	g := randomGraph(t, 40, 80, rng)
-	table := NewTable(g)
+	table := NewTable(g, 0)
 	for src := 0; src < g.N(); src += 7 {
 		want := Dijkstra(g, graph.NodeID(src))
 		for v := range want {
@@ -210,7 +210,7 @@ func TestOverlayMatchesAugmentedDijkstra(t *testing.T) {
 	rng := xrand.New(42)
 	for trial := 0; trial < 15; trial++ {
 		g := randomGraph(t, 25, 35, rng)
-		table := NewTable(g)
+		table := NewTable(g, 0)
 		// Random shortcut set of size 0..5.
 		k := rng.Intn(6)
 		var shortcuts []graph.Edge
@@ -238,7 +238,7 @@ func TestOverlayMatchesAugmentedDijkstra(t *testing.T) {
 func TestOverlayDistRowMatchesDist(t *testing.T) {
 	rng := xrand.New(13)
 	g := randomGraph(t, 30, 45, rng)
-	table := NewTable(g)
+	table := NewTable(g, 0)
 	shortcuts := []graph.Edge{{U: 0, V: 15}, {U: 3, V: 22}, {U: 7, V: 29}}
 	ov := NewOverlay(table, shortcuts)
 	row := make([]float64, g.N())
@@ -256,7 +256,7 @@ func TestOverlayChainsShortcuts(t *testing.T) {
 	// 0-1-2-3-4 line; shortcuts (0,2) and (2,4) chain into a free ride
 	// from 0 to 4.
 	g := lineGraph(t, 5)
-	table := NewTable(g)
+	table := NewTable(g, 0)
 	ov := NewOverlay(table, []graph.Edge{{U: 0, V: 2}, {U: 2, V: 4}})
 	if d := ov.Dist(0, 4); d != 0 {
 		t.Errorf("chained shortcut distance = %v, want 0", d)
@@ -270,7 +270,7 @@ func TestOverlayChainsShortcuts(t *testing.T) {
 
 func TestOverlayEmptyForwardsTable(t *testing.T) {
 	g := lineGraph(t, 4)
-	table := NewTable(g)
+	table := NewTable(g, 0)
 	ov := NewOverlay(table, nil)
 	for u := 0; u < 4; u++ {
 		for v := 0; v < 4; v++ {
@@ -290,7 +290,7 @@ func TestOverlayDisconnectedComponents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	table := NewTable(g)
+	table := NewTable(g, 0)
 	ov := NewOverlay(table, []graph.Edge{{U: 1, V: 2}})
 	if d := ov.Dist(0, 3); d != 2 {
 		t.Errorf("bridged distance = %v, want 2", d)

@@ -1,0 +1,41 @@
+package shortestpath
+
+import "msc/internal/graph"
+
+// DistanceSource abstracts read access to the all-pairs shortest-path
+// metric of a fixed graph. Two implementations exist:
+//
+//   - Table materializes every row eagerly (n Dijkstras, n² float64s) and
+//     answers queries by plain indexing. Best when most rows will be
+//     touched (bound construction, common-node coverage, experiments that
+//     sweep thresholds over one network).
+//
+//   - LazyTable computes rows on demand and memoizes them in a sharded,
+//     concurrency-safe cache. Best when only a sparse set of rows is ever
+//     read — the overlay oracle touches only the rows of the ≤2m social-
+//     pair endpoints plus the ≤2k shortcut endpoints of the selections it
+//     evaluates, so instance-construction cost scales with the rows the
+//     solver actually uses instead of with n.
+//
+// Implementations must be safe for concurrent readers, and every method
+// must be deterministic: for the same graph, Dist and Row return
+// bit-identical values no matter the backend, the call order, or the
+// number of goroutines calling. The solver's determinism contract
+// (serial == parallel placements, PR 1) rests on that guarantee.
+type DistanceSource interface {
+	// N returns the number of nodes the source covers.
+	N() int
+	// Dist returns the shortest-path distance between u and v (+Inf if
+	// disconnected).
+	Dist(u, v graph.NodeID) float64
+	// Row returns the full distance row of u. The returned slice is owned
+	// by the source and must not be modified; it remains valid (and
+	// immutable) for the caller's lifetime even if the source later
+	// evicts the row from its cache.
+	Row(u graph.NodeID) []float64
+}
+
+var (
+	_ DistanceSource = (*Table)(nil)
+	_ DistanceSource = (*LazyTable)(nil)
+)

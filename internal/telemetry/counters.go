@@ -29,6 +29,19 @@ type Counters struct {
 	OverlayQueries atomic.Int64
 	// OverlayRows counts full distance-row queries against an overlay.
 	OverlayRows atomic.Int64
+	// RowCacheHits counts lazy-table row requests served from cache.
+	RowCacheHits atomic.Int64
+	// RowCacheMisses counts lazy-table row requests that created a new
+	// cache entry.
+	RowCacheMisses atomic.Int64
+	// RowCacheComputes counts Dijkstra runs performed by lazy tables.
+	// Unlike the solver counters above, the row-cache counters depend on
+	// the distance backend (dense tables never touch them) and — under a
+	// row cap — on goroutine interleaving, so the backend-equivalence
+	// guarantees exclude them.
+	RowCacheComputes atomic.Int64
+	// RowCacheEvictions counts rows dropped to respect a lazy table's cap.
+	RowCacheEvictions atomic.Int64
 }
 
 // global is the process-wide counter set every instrumented package feeds.
@@ -53,6 +66,11 @@ type CounterSnapshot struct {
 	OverlayBuilds   int64 `json:"overlay_builds"`
 	OverlayQueries  int64 `json:"overlay_queries"`
 	OverlayRows     int64 `json:"overlay_rows"`
+
+	RowCacheHits      int64 `json:"row_cache_hits"`
+	RowCacheMisses    int64 `json:"row_cache_misses"`
+	RowCacheComputes  int64 `json:"row_cache_computes"`
+	RowCacheEvictions int64 `json:"row_cache_evictions"`
 }
 
 // Snapshot reads all counters. Each field is read atomically; the snapshot
@@ -69,6 +87,11 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		OverlayBuilds:   c.OverlayBuilds.Load(),
 		OverlayQueries:  c.OverlayQueries.Load(),
 		OverlayRows:     c.OverlayRows.Load(),
+
+		RowCacheHits:      c.RowCacheHits.Load(),
+		RowCacheMisses:    c.RowCacheMisses.Load(),
+		RowCacheComputes:  c.RowCacheComputes.Load(),
+		RowCacheEvictions: c.RowCacheEvictions.Load(),
 	}
 }
 
@@ -84,6 +107,27 @@ func (c *Counters) Reset() {
 	c.OverlayBuilds.Store(0)
 	c.OverlayQueries.Store(0)
 	c.OverlayRows.Store(0)
+	c.RowCacheHits.Store(0)
+	c.RowCacheMisses.Store(0)
+	c.RowCacheComputes.Store(0)
+	c.RowCacheEvictions.Store(0)
+}
+
+// BackendInvariant returns a copy of the snapshot with every counter that
+// depends on the distance backend zeroed: Dijkstra runs and edge
+// relaxations (eager for a dense table, on-demand for a lazy one) and the
+// row-cache activity (dense tables never touch it; under a row cap it
+// also depends on goroutine interleaving). What remains is exactly the
+// solver work that must be identical across backends — the invariant the
+// backend-differential suite asserts.
+func (s CounterSnapshot) BackendInvariant() CounterSnapshot {
+	s.DijkstraRuns = 0
+	s.EdgeRelaxations = 0
+	s.RowCacheHits = 0
+	s.RowCacheMisses = 0
+	s.RowCacheComputes = 0
+	s.RowCacheEvictions = 0
+	return s
 }
 
 // Sub returns the field-wise difference s − prev: the work performed
@@ -99,5 +143,10 @@ func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
 		OverlayBuilds:   s.OverlayBuilds - prev.OverlayBuilds,
 		OverlayQueries:  s.OverlayQueries - prev.OverlayQueries,
 		OverlayRows:     s.OverlayRows - prev.OverlayRows,
+
+		RowCacheHits:      s.RowCacheHits - prev.RowCacheHits,
+		RowCacheMisses:    s.RowCacheMisses - prev.RowCacheMisses,
+		RowCacheComputes:  s.RowCacheComputes - prev.RowCacheComputes,
+		RowCacheEvictions: s.RowCacheEvictions - prev.RowCacheEvictions,
 	}
 }

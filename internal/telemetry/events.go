@@ -137,6 +137,9 @@ type RunRecord struct {
 	Seed int64 `json:"seed"`
 	// Workers is the resolved candidate-scan parallelism (0 = default).
 	Workers int `json:"workers"`
+	// DistBackend records the distance backend the run was launched with
+	// ("auto", "dense", "lazy"); "" for runs that predate the field.
+	DistBackend string `json:"dist_backend"`
 	// Quick marks reduced-scale smoke runs.
 	Quick bool `json:"quick"`
 	// Instance shape: node count, important pairs, candidate-universe

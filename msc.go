@@ -81,8 +81,21 @@ type (
 	// Threshold is the connectivity requirement in both its probability
 	// (p_t) and distance (d_t) forms.
 	Threshold = failprob.Threshold
-	// DistanceTable is an all-pairs shortest-path table.
+	// DistanceSource abstracts shortest-path access: a dense DistanceTable
+	// or a LazyDistanceTable; InstanceOptions.Table accepts either.
+	DistanceSource = shortestpath.DistanceSource
+	// DistanceTable is an eagerly materialized all-pairs shortest-path
+	// table.
 	DistanceTable = shortestpath.Table
+	// LazyDistanceTable computes Dijkstra rows on demand and memoizes them
+	// in a sharded, concurrency-safe cache; construction is O(1) instead
+	// of n Dijkstras.
+	LazyDistanceTable = shortestpath.LazyTable
+	// LazyTableOptions tune a LazyDistanceTable (row cap, shard count).
+	LazyTableOptions = shortestpath.LazyOptions
+	// DistBackend selects the distance backend an instance builds when no
+	// table is supplied: BackendAuto, BackendDense, or BackendLazy.
+	DistBackend = core.DistBackend
 	// Rand is the deterministic randomness source used by the randomized
 	// algorithms and generators.
 	Rand = xrand.Rand
@@ -144,6 +157,17 @@ const (
 	StopEvalBudget = core.StopEvalBudget
 )
 
+// Distance backends selectable via InstanceOptions.DistBackend. BackendAuto
+// (the zero value) picks dense below DefaultLazyThreshold nodes and lazy at
+// or above; placements and σ/μ/ν are identical across backends.
+const (
+	BackendAuto  = core.BackendAuto
+	BackendDense = core.BackendDense
+	BackendLazy  = core.BackendLazy
+	// DefaultLazyThreshold is the BackendAuto node-count switchover.
+	DefaultLazyThreshold = core.DefaultLazyThreshold
+)
+
 // Parallelism fixes the number of candidate-scan workers a solver may use:
 // 1 restores the fully serial code path, n <= 0 (or omitting the option)
 // selects the package default. Placements are identical for every worker
@@ -195,12 +219,29 @@ func NewPairSet(n int, ps []Pair) (*PairSet, error) { return pairs.NewSet(n, ps)
 
 // NewDistanceTable precomputes all-pairs shortest paths; share it across
 // instances with different thresholds via InstanceOptions.Table.
-func NewDistanceTable(g *Graph) *DistanceTable { return shortestpath.NewTable(g) }
+func NewDistanceTable(g *Graph) *DistanceTable { return shortestpath.NewTable(g, 0) }
+
+// NewLazyDistanceTable wraps g in an on-demand distance source: rows are
+// computed by Dijkstra on first use and memoized. Share it across
+// instances via InstanceOptions.Table when n is large and only a sparse
+// set of rows will ever be read.
+func NewLazyDistanceTable(g *Graph, opts LazyTableOptions) *LazyDistanceTable {
+	return shortestpath.NewLazyTable(g, opts)
+}
+
+// SetDefaultDistBackend sets the distance backend used by instances built
+// with BackendAuto; BackendAuto restores the node-threshold rule. Wired to
+// the -dist-backend flag of mscplace and mscbench.
+func SetDefaultDistBackend(b DistBackend) { core.SetDefaultDistBackend(b) }
+
+// ParseDistBackend validates a -dist-backend flag value ("auto", "dense",
+// "lazy").
+func ParseDistBackend(s string) (DistBackend, error) { return core.ParseDistBackend(s) }
 
 // SampleViolatingPairs randomly picks m pairs whose current best path
 // violates the distance threshold — the paper's evaluation setup
 // (§VII-A3).
-func SampleViolatingPairs(t *DistanceTable, thr Threshold, m int, rng *Rand) (*PairSet, error) {
+func SampleViolatingPairs(t DistanceSource, thr Threshold, m int, rng *Rand) (*PairSet, error) {
 	return pairs.SampleViolating(t, thr.D, m, rng)
 }
 
