@@ -71,6 +71,7 @@ func run(ctx context.Context) error {
 		svg      = flag.String("svg", "", "directory to write fig1 SVG renderings into")
 		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (results are identical either way)")
 		distB    = cli.AddDistBackendFlag(flag.CommandLine)
+		evalM    = cli.AddEvalModeFlag(flag.CommandLine)
 		jsonl    = flag.String("jsonl", "", "write machine-readable run records as JSON lines to this file")
 		validate = flag.String("validate", "", "validate a JSONL run-record file against the telemetry schema and exit")
 		version  = flag.Bool("version", false, "print version and exit")
@@ -90,6 +91,11 @@ func run(ctx context.Context) error {
 		return err
 	}
 	core.SetDefaultDistBackend(backend)
+	evalMode, err := core.ParseEvalMode(*evalM)
+	if err != nil {
+		return err
+	}
+	core.SetDefaultEvalMode(evalMode)
 
 	ids, err := resolveIDs(*exp)
 	if err != nil {
@@ -134,6 +140,7 @@ func run(ctx context.Context) error {
 				Seed:        *seed,
 				Workers:     *par,
 				DistBackend: *distB,
+				EvalMode:    *evalM,
 				Quick:       *quick,
 				Sigma:       -1,
 				WallMS:      float64(elapsed.Nanoseconds()) / 1e6,

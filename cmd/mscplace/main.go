@@ -56,6 +56,7 @@ func run(ctx context.Context) error {
 		refine   = flag.Bool("refine", false, "apply local-search swap refinement to the placement")
 		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (placements are identical either way)")
 		distB    = cli.AddDistBackendFlag(flag.CommandLine)
+		evalM    = cli.AddEvalModeFlag(flag.CommandLine)
 		jsonl    = flag.String("jsonl", "", "write per-round telemetry events and a run record as JSON lines to this file")
 		deadline = flag.Duration("deadline", 0, "wall-clock budget for the solver; on expiry the best-so-far placement is emitted (0 = none)")
 		ckpt     = flag.String("checkpoint", "", "write resumable run snapshots as JSON lines to this file (ea, aea)")
@@ -71,6 +72,10 @@ func run(ctx context.Context) error {
 	}
 	msc.SetDefaultParallelism(*par)
 	backend, err := msc.ParseDistBackend(*distB)
+	if err != nil {
+		return err
+	}
+	evalMode, err := msc.ParseEvalMode(*evalM)
 	if err != nil {
 		return err
 	}
@@ -132,7 +137,7 @@ func run(ctx context.Context) error {
 		return fmt.Errorf("no threshold: set one in the instance or pass -pt")
 	}
 	inst, err := msc.NewInstance(g, ps, msc.NewThreshold(threshold), budget,
-		&msc.InstanceOptions{AllowTrivial: true, DistBackend: backend, Parallelism: *par})
+		&msc.InstanceOptions{AllowTrivial: true, DistBackend: backend, EvalMode: evalMode, Parallelism: *par})
 	if err != nil {
 		return err
 	}
@@ -245,6 +250,7 @@ func run(ctx context.Context) error {
 			Seed:        *seed,
 			Workers:     *par,
 			DistBackend: *distB,
+			EvalMode:    *evalM,
 			N:           inst.N(),
 			Pairs:       ps.Len(),
 			Candidates:  inst.NumCandidates(),

@@ -85,6 +85,15 @@ func AddDistBackendFlag(fs *flag.FlagSet) *string {
 		"distance backend: auto|dense|lazy (auto = dense for small networks, lazy Dijkstra row cache above the node threshold)")
 }
 
+// AddEvalModeFlag registers the -eval flag shared by the solver-facing
+// commands and returns the pointer receiving its value after fs.Parse.
+// Like AddDistBackendFlag, values stay plain strings here and are
+// validated by the command via msc.ParseEvalMode / core.ParseEvalMode.
+func AddEvalModeFlag(fs *flag.FlagSet) *string {
+	return fs.String("eval", "auto",
+		"search evaluation mode: auto|incremental|rebuild (incremental = O(n) row merges and delta gains rescans on Add; rebuild = full recompute reference path; placements are identical either way)")
+}
+
 // Profile carries the three profiling flag values registered by
 // AddProfileFlags. The zero value (no flags set) is a no-op profile.
 type Profile struct {

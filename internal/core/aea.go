@@ -223,6 +223,11 @@ func greedySeed(p Problem, k, numCand int, rng *xrand.Rand, workers int) []int {
 // identical for every worker count.
 func deriveChild(p Problem, parent aeaSol, delta float64, rng *xrand.Rand, workers int) aeaSol {
 	numCand := p.NumCandidates()
+	if numCand == 0 {
+		// Degenerate universe: nothing to swap in (and randomAbsent would
+		// spin forever). Keep the parent.
+		return aeaSol{sel: append([]int(nil), parent.sel...), sigma: parent.sigma}
+	}
 	if rng.Float64() <= 1-delta {
 		// Greedy swap on an incremental search state, argmax ties broken
 		// uniformly at random.

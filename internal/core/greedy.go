@@ -52,7 +52,7 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 				stop.Reason = stopReasonFor(err)
 				return finish()
 			}
-			if gain <= 0 {
+			if cand < 0 || gain <= 0 {
 				break
 			}
 			s.Add(cand)
@@ -68,7 +68,7 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 			stop.Reason = stopReasonFor(err)
 			return finish()
 		}
-		if gain <= 0 {
+		if cand < 0 || gain <= 0 {
 			break
 		}
 		s.Add(cand)
@@ -76,20 +76,25 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 		sel := s.Selection()
 		e := p.CandidateEdge(cand)
 		minNS, maxNS, shards := lastScanShards(s)
+		rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped := lastEvalStats(s)
 		cfg.sink.Emit(telemetry.RoundEvent{
-			Algorithm:  "greedy_sigma",
-			Round:      round,
-			Shortcut:   &[2]int32{int32(e.U), int32(e.V)},
-			Gain:       gain,
-			Sigma:      s.Sigma(),
-			Selected:   len(sel),
-			Candidates: p.NumCandidates(),
-			Mu:         p.Mu(sel),
-			Nu:         p.Nu(sel),
-			ElapsedNS:  time.Since(start).Nanoseconds(),
-			ShardMinNS: minNS,
-			ShardMaxNS: maxNS,
-			Shards:     shards,
+			Algorithm:      "greedy_sigma",
+			Round:          round,
+			Shortcut:       &[2]int32{int32(e.U), int32(e.V)},
+			Gain:           gain,
+			Sigma:          s.Sigma(),
+			Selected:       len(sel),
+			Candidates:     p.NumCandidates(),
+			Mu:             p.Mu(sel),
+			Nu:             p.Nu(sel),
+			ElapsedNS:      time.Since(start).Nanoseconds(),
+			ShardMinNS:     minNS,
+			ShardMaxNS:     maxNS,
+			Shards:         shards,
+			RowsMerged:     rowsMerged,
+			RowsUnchanged:  rowsUnchanged,
+			PairsRescanned: pairsRescanned,
+			PairsSkipped:   pairsSkipped,
 		})
 	}
 	return finish()

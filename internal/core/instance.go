@@ -135,6 +135,9 @@ type Instance struct {
 	candPos   map[graph.NodeID]int32 // nil when candNodes is the identity
 	numCand   int
 
+	// evalMode is the resolved Options.EvalMode governing searches.
+	evalMode EvalMode
+
 	// weights[i] is pair i's importance level (all 1 when unweighted);
 	// totalWeight = Σ weights = MaxSigma.
 	weights     []int32
@@ -190,6 +193,12 @@ type Options struct {
 	// LazyMaxRows caps the lazy backend's cached non-pinned rows; 0 means
 	// unbounded. Social-pair endpoint rows are always pinned and exempt.
 	LazyMaxRows int
+	// EvalMode selects how searches built from the instance maintain their
+	// state across Add commits: incremental O(n) row merges with delta
+	// gains rescans (the default), or the full-rebuild reference path.
+	// Placements, σ values, and gains arrays are identical across modes;
+	// the zero value resolves via SetDefaultEvalMode.
+	EvalMode EvalMode
 	// ExcludePairEndpoints removes the important-pair nodes from the
 	// candidate shortcut universe, so shortcuts may only land on relay
 	// nodes. Under the unrestricted universe greedy-σ trivially gains one
@@ -229,6 +238,16 @@ func NewInstance(g *graph.Graph, ps *pairs.Set, thr failprob.Threshold, k int, o
 		ps:    ps,
 		thr:   thr,
 		k:     k,
+	}
+	var evalOpt EvalMode
+	if opts != nil {
+		evalOpt = opts.EvalMode
+	}
+	switch em := resolveEvalMode(evalOpt); em {
+	case EvalIncremental, EvalRebuild:
+		inst.evalMode = em
+	default:
+		return nil, fmt.Errorf("core: unknown eval mode %q (want auto, incremental, or rebuild)", em)
 	}
 	if opts != nil && opts.ExcludePairEndpoints {
 		isPairNode := make(map[graph.NodeID]bool, 2*ps.Len())
@@ -323,6 +342,10 @@ func (inst *Instance) PairWeight(i int) int { return int(inst.weights[i]) }
 // NumCandidates returns the candidate-universe size: t(t−1)/2 for t
 // candidate nodes (t = n unless ExcludePairEndpoints was set).
 func (inst *Instance) NumCandidates() int { return inst.numCand }
+
+// EvalMode returns the resolved evaluation mode governing searches built
+// from the instance.
+func (inst *Instance) EvalMode() EvalMode { return inst.evalMode }
 
 // CandidateNodes returns the nodes allowed to host shortcut endpoints.
 // Callers must not modify the slice.

@@ -136,6 +136,26 @@ type ScanTimer interface {
 	LastScanShards() (minNS, maxNS int64, shards int)
 }
 
+// EvalStats is implemented by searches that track the incremental
+// evaluation engine's work (see search.go): how many endpoint rows the
+// committed shortcuts' O(n) merges changed vs. proved untouched, and how
+// many pairs the gains scans recomputed vs. kept verbatim. LastEvalStats
+// drains the accumulators, so each call reports the work since the
+// previous one — GreedySigma calls it once per committed round to fill the
+// RoundEvent fields. All four stay 0 under EvalRebuild.
+type EvalStats interface {
+	LastEvalStats() (rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped int64)
+}
+
+// lastEvalStats drains a search's incremental-evaluation stats, or returns
+// zeros for searches without incremental state.
+func lastEvalStats(s Search) (rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped int64) {
+	if es, ok := s.(EvalStats); ok {
+		return es.LastEvalStats()
+	}
+	return 0, 0, 0, 0
+}
+
 // enableScanTiming turns scan timing on when the search supports it.
 func enableScanTiming(s Search) {
 	if st, ok := s.(ScanTimer); ok {
@@ -306,6 +326,9 @@ func ParBestSwap(p Problem, sel []int, curSigma, workers int) (drop, add, sigma 
 			sub := p.NewSearch(rest)
 			setSearchWorkers(sub, inner)
 			cand, gain := sub.BestAdd()
+			if cand < 0 {
+				continue // empty candidate universe: nothing to swap in
+			}
 			if sigma := sub.Sigma() + gain; sigma > best.sigma {
 				best = swapBest{drop: pos, add: cand, sigma: sigma}
 			}

@@ -108,7 +108,7 @@ func GreedySigmaCurve(p Problem, opts ...Option) []int {
 	curve := []int{s.Sigma()}
 	for s.Len() < p.K() {
 		cand, gain := s.BestAdd()
-		if gain <= 0 {
+		if cand < 0 || gain <= 0 {
 			break
 		}
 		s.Add(cand)

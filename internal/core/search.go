@@ -26,14 +26,26 @@ import (
 // per round with a tight two-float-compare inner loop instead of re-running
 // a shortest-path computation per candidate.
 //
+// Under EvalIncremental (the default) the same identity also maintains the
+// state across commits: Add computes only the two overlay rows d_F(a,·) and
+// d_F(b,·) of the new shortcut's endpoints and merges them into every
+// endpoint row in O(n), instead of recomputing all rows from a fresh
+// overlay. Before the merge overwrites the rows, the live gains array is
+// patched in place from the same two rows, so the next BestAdd pays no
+// rescan for pairs the commit did not touch (see DESIGN.md §8). RemoveAt
+// always falls back to a full rebuild: a deletion can lengthen distances,
+// and min-merges cannot undo a min. EvalRebuild disables all of this and
+// rebuilds after every mutation — the reference path the eval-differential
+// suite compares against.
+//
 // Concurrency: an instSearch is single-caller like every Search, but with
 // SetWorkers > 1 its scans shard internally — GainsAdd splits the
 // triangular candidate grid into contiguous row ranges writing disjoint
 // segments of the gains array, SigmaDrops splits the per-position σ
-// re-evaluations, and rebuild computes the endpoint distance rows
-// concurrently. All shared inputs (the instance, the overlay, the distance
-// rows during a gains scan) are read-only while workers run, so the
-// results are byte-identical to the serial scan.
+// re-evaluations, and Add shards the row merge (and the gains patch) the
+// same way. All shared inputs (the instance, the overlay, the distance
+// rows during a scan) are read-only while workers run, so the results are
+// byte-identical to the serial scan.
 type instSearch struct {
 	inst    *Instance
 	sel     []int
@@ -48,7 +60,51 @@ type instSearch struct {
 	gains     []int          // scratch for BestAdd, len NumCandidates
 	unsat     []int          // scratch: unsatisfied pair indices
 	drops     []int          // scratch for SigmaDrops
+	rest      []int          // scratch for SigmaDrop (single-caller path)
+	dropRest  [][]int        // per-shard scratch for SigmaDrops
 	sigma     int
+
+	// Cached triangular-grid shard bounds for the current worker count
+	// (triRowBounds allocates, and the warm scan path must not).
+	bounds        []int
+	boundsWorkers int
+	// Cached scan-shard trampoline and cold-scan body: closures allocate,
+	// and the warm gains scan must not — both are built once and reused,
+	// with scanBody carrying the current scan's per-call body.
+	scanBody  func(aiLo, aiHi int)
+	shardRun  func(shard, lo, hi int)
+	gainsBody func(aiLo, aiHi int)
+
+	// Incremental evaluation state (EvalIncremental; DESIGN.md §8).
+	incremental bool // resolved Instance eval mode
+	// gainsValid marks gains/inGains as exactly what a cold scan over the
+	// CURRENT rows would produce. Set by a completed cold scan, kept up to
+	// date by Add's delta patch, dropped by RemoveAt and interruption.
+	gainsValid bool
+	inGains    []bool    // per pair: gains holds its contribution (i.e. it was unsatisfied at the last sync)
+	rowShort   []float64 // scratch: d_F(a,·) of the committing shortcut (a,b)... [rowA]
+	rowShortB  []float64 // ... and d_F(b,·) [rowB]
+	mergeSrc   []graph.NodeID
+	mergeDst   [][]float64
+	// Per-Add merge scratch: firstChange[r] is the first node index the
+	// commit improved in row r (−1 = row untouched); changedCand[r] holds
+	// the changed candidate positions whose NEW value is ≤ d_t — the only
+	// positions through which a candidate cell can newly satisfy the pair
+	// (both summands of a term ≤ d_t must themselves be ≤ d_t).
+	firstChange []int
+	changedCand [][]int32
+	shardCnt    []int64 // per-shard changed-row counts of the last merge
+
+	// Pair classification scratch for the delta gains patch.
+	dropPairs  []int32 // pairs the commit newly satisfied
+	fullPairs  []int32 // changed pairs past the delta cutoff: fused full rescan
+	deltaPairs []int32 // changed pairs rescanned only at changed positions
+	deltaOff   []int32 // deltaPos offsets, one extra leading 0
+	deltaPos   []int32 // arena of per-pair merged changed-position lists
+
+	// EvalStats accumulators, drained by LastEvalStats.
+	evRowsMerged, evRowsUnchanged    int64
+	evPairsRescanned, evPairsSkipped int64
 
 	// Scan-timing telemetry (ScanTimer); off unless a trace sink asked for
 	// it, so the default gains scan never reads the clock.
@@ -63,15 +119,17 @@ var (
 	_ ParallelSearch = (*instSearch)(nil)
 	_ ScanTimer      = (*instSearch)(nil)
 	_ ContextAware   = (*instSearch)(nil)
+	_ EvalStats      = (*instSearch)(nil)
 )
 
 // NewSearch returns an incremental evaluator positioned at sel (copied).
 func (inst *Instance) NewSearch(sel []int) Search {
 	s := &instSearch{
-		inst:      inst,
-		sel:       append([]int(nil), sel...),
-		workers:   1,
-		endpoints: inst.ps.Nodes(),
+		inst:        inst,
+		sel:         append([]int(nil), sel...),
+		workers:     1,
+		endpoints:   inst.ps.Nodes(),
+		incremental: inst.evalMode == EvalIncremental,
 	}
 	rowIdx := make(map[graph.NodeID]int, len(s.endpoints))
 	for i, e := range s.endpoints {
@@ -89,6 +147,17 @@ func (inst *Instance) NewSearch(sel []int) Search {
 		s.pairW[i] = int32(rowIdx[p.W])
 	}
 	s.pairDist = make([]float64, m)
+	if s.incremental {
+		s.inGains = make([]bool, m)
+		s.firstChange = make([]int, len(s.rows))
+		s.changedCand = make([][]int32, len(s.rows))
+		// Classification scratch sized up front so the delta patch of a
+		// warm search never allocates.
+		s.dropPairs = make([]int32, 0, m)
+		s.fullPairs = make([]int32, 0, m)
+		s.deltaPairs = make([]int32, 0, m)
+		s.deltaOff = make([]int32, 0, m+1)
+	}
 	s.rebuild()
 	return s
 }
@@ -113,9 +182,21 @@ func (s *instSearch) interrupted() bool {
 // EnableScanTiming implements ScanTimer.
 func (s *instSearch) EnableScanTiming(on bool) { s.timeScan = on }
 
-// LastScanShards implements ScanTimer.
+// LastScanShards implements ScanTimer. Under EvalIncremental the most
+// recent timed scan may be Add's delta gains patch rather than a cold
+// GainsAdd pass — both shard over the same grid row ranges.
 func (s *instSearch) LastScanShards() (minNS, maxNS int64, shards int) {
 	return s.scanMinNS, s.scanMaxNS, s.scanShards
+}
+
+// LastEvalStats implements EvalStats: it drains the incremental-evaluation
+// work accumulated since the previous call (or since construction).
+func (s *instSearch) LastEvalStats() (rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped int64) {
+	rowsMerged, rowsUnchanged = s.evRowsMerged, s.evRowsUnchanged
+	pairsRescanned, pairsSkipped = s.evPairsRescanned, s.evPairsSkipped
+	s.evRowsMerged, s.evRowsUnchanged = 0, 0
+	s.evPairsRescanned, s.evPairsSkipped = 0, 0
+	return rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped
 }
 
 // recordScanShards reduces the per-shard wall times in s.shardNS[:shards].
@@ -132,9 +213,59 @@ func (s *instSearch) recordScanShards(shards int) {
 	s.scanMinNS, s.scanMaxNS, s.scanShards = minNS, maxNS, shards
 }
 
+// gridBounds returns the triangular-grid shard row bounds for the current
+// worker count, cached so warm scans never allocate.
+func (s *instSearch) gridBounds() []int {
+	if s.bounds == nil || s.boundsWorkers != s.workers {
+		s.bounds = triRowBounds(len(s.inst.candNodes), s.workers)
+		s.boundsWorkers = s.workers
+	}
+	return s.bounds
+}
+
+// scanShardsRun runs body over the shard row ranges of the triangular
+// candidate grid (inline when one shard), recording per-shard wall times
+// when scan timing is on. Both the cold gains scan and the delta patch go
+// through here, so their gains writes shard identically. The trampoline
+// handed to ParallelFor is built once and reads the current body from
+// scanBody, keeping the warm scan path allocation-free.
+func (s *instSearch) scanShardsRun(body func(aiLo, aiHi int)) {
+	bounds := s.gridBounds()
+	shards := len(bounds) - 1
+	s.scanBody = body
+	if s.shardRun == nil {
+		s.shardRun = func(shard, _, _ int) {
+			b := s.bounds
+			if !s.timeScan {
+				s.scanBody(b[shard], b[shard+1])
+				return
+			}
+			start := time.Now()
+			s.scanBody(b[shard], b[shard+1])
+			s.shardNS[shard] = time.Since(start).Nanoseconds()
+		}
+	}
+	if s.timeScan && cap(s.shardNS) < shards {
+		s.shardNS = make([]int64, shards)
+	}
+	ParallelFor(shards, shards, s.shardRun)
+	s.scanBody = nil
+	if s.timeScan {
+		s.recordScanShards(shards)
+	}
+}
+
+// rebuild recomputes every endpoint row from a fresh overlay and refreshes
+// the pair distances; any live gains state is dropped.
 func (s *instSearch) rebuild() {
 	ov := shortestpath.NewOverlay(s.inst.table, SelectionEdges(s.inst, s.sel))
 	shortestpath.NewEvaluator(ov, s.workers).DistRows(s.endpoints, s.rows)
+	s.recomputeSigma()
+	s.gainsValid = false
+}
+
+// recomputeSigma refreshes pairDist and σ from the current rows.
+func (s *instSearch) recomputeSigma() {
 	s.sigma = 0
 	for i, p := range s.inst.ps.Pairs() {
 		d := s.rows[s.pairU[i]][p.W]
@@ -182,9 +313,13 @@ func (s *instSearch) GainAdd(cand int) int {
 // BestAdd scans every candidate shortcut and returns the one with the
 // largest σ gain (ties toward the lowest candidate index) together with
 // that gain. Candidates already in the selection naturally score 0: their
-// zero-length edge is already reflected in d_F.
+// zero-length edge is already reflected in d_F. On a degenerate instance
+// with an empty candidate universe it returns (-1, 0).
 func (s *instSearch) BestAdd() (cand, gain int) {
 	gains := s.GainsAdd()
+	if len(gains) == 0 {
+		return -1, 0
+	}
 	best, bestGain := 0, gains[0]
 	for i := 1; i < len(gains); i++ {
 		if gains[i] > bestGain {
@@ -194,9 +329,15 @@ func (s *instSearch) BestAdd() (cand, gain int) {
 	return best, bestGain
 }
 
-// GainsAdd computes the σ gain of every candidate addition in one fused
-// scan: for each unsatisfied pair it walks the candidate grid with two
-// float compares per cell. The returned slice is reused across calls.
+// GainsAdd computes the σ gain of every candidate addition. The returned
+// slice is reused across calls.
+//
+// Under EvalIncremental the array is usually already current: Add patches
+// it in place when it commits a shortcut, so a warm call returns without
+// scanning anything. A cold scan — the first call, or the first after a
+// RemoveAt or an interrupted patch — runs the fused per-pair grid walk: for
+// each unsatisfied pair it visits every candidate cell with two float
+// compares.
 //
 // With workers > 1 the triangular candidate grid is split into contiguous
 // row ranges of roughly equal cell count; each worker runs the same fused
@@ -205,79 +346,44 @@ func (s *instSearch) BestAdd() (cand, gain int) {
 // accumulations are exact integer adds, so the gains array — and hence
 // every argmax taken over it — is identical to the serial scan's.
 func (s *instSearch) GainsAdd() []int {
-	nodes := s.inst.candNodes
-	t := len(nodes)
+	// One atomic add for the whole scan: the count is the logical scan
+	// width, identical for every worker count and both eval modes, and the
+	// inner loops stay untouched.
+	telemetry.Global().CandidateEvals.Add(int64(s.inst.numCand))
 	if s.gains == nil {
 		s.gains = make([]int, s.inst.numCand)
-	} else {
-		for i := range s.gains {
-			s.gains[i] = 0
-		}
 	}
-	// One atomic add for the whole scan: the count is the logical scan
-	// width, identical for every worker count, and the inner loops stay
-	// untouched.
-	telemetry.Global().CandidateEvals.Add(int64(s.inst.numCand))
-	dt := s.inst.thr.D
-	if s.workers > 1 {
-		s.unsat = s.unsat[:0]
-		for i := range s.pairDist {
-			if s.pairDist[i] > dt {
-				s.unsat = append(s.unsat, i)
-			}
-		}
-		bounds := triRowBounds(t, s.workers)
-		shards := len(bounds) - 1
-		if !s.timeScan {
-			ParallelFor(shards, shards, func(shard, _, _ int) {
-				s.gainsRows(bounds[shard], bounds[shard+1])
-			})
-			return s.gains
-		}
-		if cap(s.shardNS) < shards {
-			s.shardNS = make([]int64, shards)
-		}
-		ParallelFor(shards, shards, func(shard, _, _ int) {
-			start := time.Now()
-			s.gainsRows(bounds[shard], bounds[shard+1])
-			s.shardNS[shard] = time.Since(start).Nanoseconds()
-		})
-		s.recordScanShards(shards)
+	if s.incremental && s.gainsValid {
 		return s.gains
 	}
-	var start time.Time
-	if s.timeScan {
-		start = time.Now()
-	}
-	for i := range s.pairDist {
-		if s.pairDist[i] <= dt {
-			continue
-		}
-		if s.interrupted() {
-			break
-		}
-		w := int(s.inst.weights[i])
-		ru := s.rows[s.pairU[i]]
-		rw := s.rows[s.pairW[i]]
-		idx := 0
-		for ai := 0; ai < t; ai++ {
-			a := nodes[ai]
-			ca := dt - ru[a] // candidate satisfies via (u..a, b..w) iff rw[b] <= ca
-			cb := dt - rw[a] // ... or via (u..b, a..w) iff ru[b] <= cb
-			for bi := ai + 1; bi < t; bi++ {
-				b := nodes[bi]
-				if rw[b] <= ca || ru[b] <= cb {
-					s.gains[idx] += w
-				}
-				idx++
-			}
-		}
-	}
-	if s.timeScan {
-		ns := time.Since(start).Nanoseconds()
-		s.scanMinNS, s.scanMaxNS, s.scanShards = ns, ns, 1
-	}
+	s.coldScan()
 	return s.gains
+}
+
+// coldScan recomputes the gains array from scratch: zero it, collect the
+// unsatisfied pairs, and run the fused grid scan over them.
+func (s *instSearch) coldScan() {
+	for i := range s.gains {
+		s.gains[i] = 0
+	}
+	dt := s.inst.thr.D
+	s.unsat = s.unsat[:0]
+	for i := range s.pairDist {
+		un := s.pairDist[i] > dt
+		if un {
+			s.unsat = append(s.unsat, i)
+		}
+		if s.incremental {
+			s.inGains[i] = un
+		}
+	}
+	telemetry.Global().PairsRescanned.Add(int64(len(s.unsat)))
+	s.evPairsRescanned += int64(len(s.unsat))
+	if s.gainsBody == nil {
+		s.gainsBody = s.gainsRows // method value; built once, reused warm
+	}
+	s.scanShardsRun(s.gainsBody)
+	s.gainsValid = s.incremental && !s.interrupted()
 }
 
 // gainsRows runs the fused gains scan restricted to candidate-grid rows
@@ -313,29 +419,40 @@ func (s *instSearch) gainsRows(aiLo, aiHi int) {
 	}
 }
 
+// SigmaDrop evaluates σ with the pos-th selected shortcut removed, reusing
+// a scratch selection buffer (single-caller, like every Search method —
+// SigmaDrops uses per-shard buffers instead).
 func (s *instSearch) SigmaDrop(pos int) int {
-	rest := make([]int, 0, len(s.sel)-1)
-	rest = append(rest, s.sel[:pos]...)
-	rest = append(rest, s.sel[pos+1:]...)
-	return s.inst.Sigma(rest)
+	s.rest = append(s.rest[:0], s.sel[:pos]...)
+	s.rest = append(s.rest, s.sel[pos+1:]...)
+	return s.inst.Sigma(s.rest)
 }
 
 // SigmaDrops returns σ(S \ {S[pos]}) for every position. Each evaluation
 // builds its own overlay from the immutable instance, so with workers > 1
-// the positions shard across goroutines with no shared mutable state. The
-// slice is scratch reused across calls.
+// the positions shard across goroutines — each shard owns a private
+// selection scratch buffer, so no state is shared. The slice is scratch
+// reused across calls.
 func (s *instSearch) SigmaDrops() []int {
 	if cap(s.drops) < len(s.sel) {
 		s.drops = make([]int, len(s.sel))
 	}
 	s.drops = s.drops[:len(s.sel)]
-	ParallelFor(s.workers, len(s.sel), func(_, lo, hi int) {
+	for cap(s.dropRest) < s.workers {
+		s.dropRest = append(s.dropRest[:cap(s.dropRest)], nil)
+	}
+	s.dropRest = s.dropRest[:s.workers]
+	ParallelFor(s.workers, len(s.sel), func(shard, lo, hi int) {
+		rest := s.dropRest[shard]
 		for pos := lo; pos < hi; pos++ {
 			if s.interrupted() {
 				return
 			}
-			s.drops[pos] = s.SigmaDrop(pos)
+			rest = append(rest[:0], s.sel[:pos]...)
+			rest = append(rest, s.sel[pos+1:]...)
+			s.drops[pos] = s.inst.Sigma(rest)
 		}
+		s.dropRest[shard] = rest
 	})
 	return s.drops
 }
@@ -357,12 +474,425 @@ func (s *instSearch) BestDrop() (pos, sigma int) {
 	return pos, sigma
 }
 
+// Add commits candidate cand. Under EvalRebuild this recomputes every row
+// from a fresh overlay; under EvalIncremental it merges the shortcut into
+// the existing rows in O(n) per row and patches the live gains array.
 func (s *instSearch) Add(cand int) {
-	s.sel = append(s.sel, cand)
-	s.rebuild()
+	if !s.incremental {
+		s.sel = append(s.sel, cand)
+		s.rebuild()
+		return
+	}
+	s.mergeAdd(cand)
 }
 
+// RemoveAt removes the selection element at position pos. Deletions always
+// rebuild, in both eval modes: removing a shortcut can lengthen distances,
+// and the incremental min-merge has no way to undo a min — the information
+// about which pre-merge value a cell held is gone.
 func (s *instSearch) RemoveAt(pos int) {
 	s.sel = append(s.sel[:pos], s.sel[pos+1:]...)
 	s.rebuild()
+}
+
+// mergeAdd is the incremental commit path. With f=(a,b) the new shortcut,
+// it runs up to four passes:
+//
+//  1. Query the two overlay rows d_F(a,·), d_F(b,·) over the PRE-commit
+//     selection (2 row queries — the only shortest-path work of the
+//     commit, independent of the number of endpoint rows).
+//  2. A read-only merge pre-pass per endpoint row finding the first
+//     improved node (none ⇒ the row provably cannot change — RowsUnchanged)
+//     and, when the gains array is live, the changed candidate positions
+//     with new value ≤ d_t — the only positions through which any
+//     candidate cell can newly satisfy a pair.
+//  3. When the gains array is live: patch it in place (classifyPairs +
+//     patchRows) while the rows still hold their pre-commit values —
+//     new values are recomputed on the fly from the same min expression
+//     the merge applies, so the patched array is bit-identical to a cold
+//     scan over the merged rows.
+//  4. Merge the rows in place and refresh pairDist/σ.
+func (s *instSearch) mergeAdd(cand int) {
+	e := s.inst.CandidateEdge(cand)
+	fa, fb := int(e.U), int(e.V)
+	n := s.inst.g.N()
+	if s.rowShort == nil {
+		s.rowShort = make([]float64, n)
+		s.rowShortB = make([]float64, n)
+		s.mergeSrc = make([]graph.NodeID, 2)
+		s.mergeDst = make([][]float64, 2)
+	}
+	rowA, rowB := s.rowShort, s.rowShortB
+	ov := shortestpath.NewOverlay(s.inst.table, SelectionEdges(s.inst, s.sel))
+	s.mergeSrc[0], s.mergeSrc[1] = graph.NodeID(fa), graph.NodeID(fb)
+	s.mergeDst[0], s.mergeDst[1] = rowA, rowB
+	evWorkers := s.workers
+	if evWorkers > 2 {
+		evWorkers = 2
+	}
+	shortestpath.NewEvaluator(ov, evWorkers).DistRows(s.mergeSrc, s.mergeDst)
+	s.sel = append(s.sel, cand)
+
+	rows := len(s.rows)
+	track := s.gainsValid
+	dt := s.inst.thr.D
+	pos := s.inst.candPos // nil when candidate positions are node ids
+	shards := s.workers
+	if shards > rows {
+		shards = rows
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if cap(s.shardCnt) < shards {
+		s.shardCnt = make([]int64, shards)
+	}
+	cnt := s.shardCnt[:shards]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	// Pass 2: per-row merge pre-pass (read-only; rows and the two shortcut
+	// rows are shared, every write is row-indexed and disjoint).
+	ParallelFor(s.workers, rows, func(shard, lo, hi int) {
+		changed := int64(0)
+		for r := lo; r < hi; r++ {
+			row := s.rows[r]
+			da, db := row[fa], row[fb]
+			first := -1
+			for x, old := range row {
+				nd := da + rowB[x]
+				if d := db + rowA[x]; d < nd {
+					nd = d
+				}
+				if nd < old {
+					first = x
+					break
+				}
+			}
+			s.firstChange[r] = first
+			if first < 0 {
+				continue
+			}
+			changed++
+			if !track {
+				continue
+			}
+			cc := s.changedCand[r][:0]
+			for x := first; x < len(row); x++ {
+				nd := da + rowB[x]
+				if d := db + rowA[x]; d < nd {
+					nd = d
+				}
+				if nd < row[x] && nd <= dt {
+					if pos == nil {
+						cc = append(cc, int32(x))
+					} else if p, ok := pos[graph.NodeID(x)]; ok {
+						cc = append(cc, p)
+					}
+				}
+			}
+			s.changedCand[r] = cc
+		}
+		cnt[shard] = changed
+	})
+	var merged int64
+	for _, c := range cnt {
+		merged += c
+	}
+	g := telemetry.Global()
+	g.RowsMerged.Add(merged)
+	g.RowsUnchanged.Add(int64(rows) - merged)
+	s.evRowsMerged += merged
+	s.evRowsUnchanged += int64(rows) - merged
+
+	// Pass 3: patch the live gains array before the merge overwrites the
+	// old row values the patch subtracts against.
+	if track {
+		s.classifyPairs(fa, fb, rowA, rowB)
+		s.scanShardsRun(func(aiLo, aiHi int) { s.patchRows(fa, fb, rowA, rowB, aiLo, aiHi) })
+		if s.interrupted() {
+			s.gainsValid = false
+		}
+	}
+
+	// Pass 4: merge the rows in place and refresh the pair distances.
+	ParallelFor(s.workers, rows, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			first := s.firstChange[r]
+			if first < 0 {
+				continue
+			}
+			row := s.rows[r]
+			da, db := row[fa], row[fb]
+			for x := first; x < len(row); x++ {
+				nd := da + rowB[x]
+				if d := db + rowA[x]; d < nd {
+					nd = d
+				}
+				if nd < row[x] {
+					row[x] = nd
+				}
+			}
+		}
+	})
+	s.recomputeSigma()
+}
+
+// classifyPairs sorts every pair carrying a gains contribution into the
+// delta-patch work lists: newly satisfied pairs (contribution must leave
+// gains), untouched pairs (PairsSkipped — their contribution stays
+// verbatim), and changed pairs, rescanned either only at their changed
+// candidate positions or — past the cutoff where the dense fused pass is
+// cheaper — over the full grid. Classification is serial, so the lists and
+// the counters are identical for every worker count.
+func (s *instSearch) classifyPairs(fa, fb int, rowA, rowB []float64) {
+	dt := s.inst.thr.D
+	t := len(s.inst.candNodes)
+	s.dropPairs = s.dropPairs[:0]
+	s.fullPairs = s.fullPairs[:0]
+	s.deltaPairs = s.deltaPairs[:0]
+	s.deltaOff = append(s.deltaOff[:0], 0)
+	s.deltaPos = s.deltaPos[:0]
+	skipped := int64(0)
+	for i, p := range s.inst.ps.Pairs() {
+		if !s.inGains[i] {
+			continue // satisfied at the last sync: no contribution to maintain
+		}
+		// New pair distance, by the same min expression (same operand
+		// values) the row merge applies — bit-identical to the merged row.
+		ru := s.rows[s.pairU[i]]
+		nd := s.pairDist[i]
+		if d := ru[fa] + rowB[p.W]; d < nd {
+			nd = d
+		}
+		if d := ru[fb] + rowA[p.W]; d < nd {
+			nd = d
+		}
+		if nd <= dt {
+			s.dropPairs = append(s.dropPairs, int32(i))
+			s.inGains[i] = false
+			continue
+		}
+		var cu, cw []int32
+		if s.firstChange[s.pairU[i]] >= 0 {
+			cu = s.changedCand[s.pairU[i]]
+		}
+		if s.firstChange[s.pairW[i]] >= 0 {
+			cw = s.changedCand[s.pairW[i]]
+		}
+		if len(cu) == 0 && len(cw) == 0 {
+			skipped++
+			continue
+		}
+		// Delta cutoff: each changed position costs one grid row + one grid
+		// column at roughly twice the fused scan's per-cell work, so past
+		// ~t/4 positions the dense pass wins.
+		if 4*(len(cu)+len(cw)) >= t {
+			s.fullPairs = append(s.fullPairs, int32(i))
+			continue
+		}
+		// Merge the two sorted unique position lists into the arena.
+		a, b := 0, 0
+		for a < len(cu) || b < len(cw) {
+			switch {
+			case b >= len(cw) || (a < len(cu) && cu[a] < cw[b]):
+				s.deltaPos = append(s.deltaPos, cu[a])
+				a++
+			case a >= len(cu) || cw[b] < cu[a]:
+				s.deltaPos = append(s.deltaPos, cw[b])
+				b++
+			default:
+				s.deltaPos = append(s.deltaPos, cu[a])
+				a++
+				b++
+			}
+		}
+		s.deltaPairs = append(s.deltaPairs, int32(i))
+		s.deltaOff = append(s.deltaOff, int32(len(s.deltaPos)))
+	}
+	rescanned := int64(len(s.dropPairs) + len(s.fullPairs) + len(s.deltaPairs))
+	g := telemetry.Global()
+	g.PairsRescanned.Add(rescanned)
+	g.PairsSkipped.Add(skipped)
+	s.evPairsRescanned += rescanned
+	s.evPairsSkipped += skipped
+}
+
+// patchRows applies the classified delta patch to the gains segment owned
+// by candidate-grid rows [aiLo, aiHi). It runs BEFORE the row merge: old
+// values are read straight from the rows, new values recomputed on the fly
+// with the merge's own min expression, so every satisfaction test matches
+// what a cold scan over the merged rows would compute, bit for bit.
+func (s *instSearch) patchRows(fa, fb int, rowA, rowB []float64, aiLo, aiHi int) {
+	if aiLo >= aiHi {
+		return
+	}
+	nodes := s.inst.candNodes
+	t := len(nodes)
+	dt := s.inst.thr.D
+	// Newly satisfied pairs: subtract the old contribution wholesale.
+	for _, pi := range s.dropPairs {
+		if s.interrupted() {
+			return
+		}
+		i := int(pi)
+		w := int(s.inst.weights[i])
+		ru := s.rows[s.pairU[i]]
+		rw := s.rows[s.pairW[i]]
+		idx := rowStart(t, aiLo)
+		for ai := aiLo; ai < aiHi; ai++ {
+			a := nodes[ai]
+			ca := dt - ru[a]
+			cb := dt - rw[a]
+			for bi := ai + 1; bi < t; bi++ {
+				b := nodes[bi]
+				if rw[b] <= ca || ru[b] <= cb {
+					s.gains[idx] -= w
+				}
+				idx++
+			}
+		}
+	}
+	// Changed pairs past the delta cutoff: one fused old/new pass. Merged
+	// rows only shrink, so a satisfied cell stays satisfied and the update
+	// is +w exactly where the cell newly satisfies.
+	for _, pi := range s.fullPairs {
+		if s.interrupted() {
+			return
+		}
+		i := int(pi)
+		w := int(s.inst.weights[i])
+		ru := s.rows[s.pairU[i]]
+		rw := s.rows[s.pairW[i]]
+		ruFA, ruFB := ru[fa], ru[fb]
+		rwFA, rwFB := rw[fa], rw[fb]
+		idx := rowStart(t, aiLo)
+		for ai := aiLo; ai < aiHi; ai++ {
+			a := nodes[ai]
+			oa := dt - ru[a]
+			ob := dt - rw[a]
+			nua := ru[a]
+			if d := ruFA + rowB[a]; d < nua {
+				nua = d
+			}
+			if d := ruFB + rowA[a]; d < nua {
+				nua = d
+			}
+			nwa := rw[a]
+			if d := rwFA + rowB[a]; d < nwa {
+				nwa = d
+			}
+			if d := rwFB + rowA[a]; d < nwa {
+				nwa = d
+			}
+			ca := dt - nua
+			cb := dt - nwa
+			for bi := ai + 1; bi < t; bi++ {
+				b := nodes[bi]
+				if rw[b] <= oa || ru[b] <= ob {
+					idx++ // already satisfied before; still satisfied
+					continue
+				}
+				nwb := rw[b]
+				if d := rwFA + rowB[b]; d < nwb {
+					nwb = d
+				}
+				if d := rwFB + rowA[b]; d < nwb {
+					nwb = d
+				}
+				nub := ru[b]
+				if d := ruFA + rowB[b]; d < nub {
+					nub = d
+				}
+				if d := ruFB + rowA[b]; d < nub {
+					nub = d
+				}
+				if nwb <= ca || nub <= cb {
+					s.gains[idx] += w
+				}
+				idx++
+			}
+		}
+	}
+	// Delta pairs: only cells with an endpoint among the pair's changed
+	// candidate positions can flip — a newly satisfying term needs both of
+	// its summands ≤ d_t, and the summand that changed is then a changed
+	// position with new value ≤ d_t. Each position c contributes its grid
+	// row (c, ·) and its grid column (·, c); column cells whose other
+	// endpoint is also in C are skipped (the row pass owns them).
+	for di, pi := range s.deltaPairs {
+		if s.interrupted() {
+			return
+		}
+		i := int(pi)
+		C := s.deltaPos[s.deltaOff[di]:s.deltaOff[di+1]]
+		w := int(s.inst.weights[i])
+		ru := s.rows[s.pairU[i]]
+		rw := s.rows[s.pairW[i]]
+		ruFA, ruFB := ru[fa], ru[fb]
+		rwFA, rwFB := rw[fa], rw[fb]
+		newRu := func(x graph.NodeID) float64 {
+			nd := ru[x]
+			if d := ruFA + rowB[x]; d < nd {
+				nd = d
+			}
+			if d := ruFB + rowA[x]; d < nd {
+				nd = d
+			}
+			return nd
+		}
+		newRw := func(x graph.NodeID) float64 {
+			nd := rw[x]
+			if d := rwFA + rowB[x]; d < nd {
+				nd = d
+			}
+			if d := rwFB + rowA[x]; d < nd {
+				nd = d
+			}
+			return nd
+		}
+		for ci, c32 := range C {
+			c := int(c32)
+			if c >= aiLo && c < aiHi {
+				// Grid row c: cells (c, bi) for bi > c.
+				a := nodes[c]
+				oa := dt - ru[a]
+				ob := dt - rw[a]
+				ca := dt - newRu(a)
+				cb := dt - newRw(a)
+				idx := rowStart(t, c)
+				for bi := c + 1; bi < t; bi++ {
+					b := nodes[bi]
+					if !(rw[b] <= oa || ru[b] <= ob) && (newRw(b) <= ca || newRu(b) <= cb) {
+						s.gains[idx] += w
+					}
+					idx++
+				}
+			}
+			// Grid column c: cells (ai, c) for ai < c, ai ∉ C.
+			hi := c
+			if hi > aiHi {
+				hi = aiHi
+			}
+			if hi <= aiLo {
+				continue
+			}
+			b := nodes[c]
+			nwb := newRw(b)
+			nub := newRu(b)
+			p := 0
+			for ai := aiLo; ai < hi; ai++ {
+				for p < ci && int(C[p]) < ai {
+					p++
+				}
+				if p < ci && int(C[p]) == ai {
+					continue
+				}
+				a := nodes[ai]
+				if !(rw[b] <= dt-ru[a] || ru[b] <= dt-rw[a]) && (nwb <= dt-newRu(a) || nub <= dt-newRw(a)) {
+					s.gains[rowStart(t, ai)+c-ai-1] += w
+				}
+			}
+		}
+	}
 }

@@ -277,19 +277,28 @@ func TestCounterTotalsSerialParallelEquivalence(t *testing.T) {
 // TestCandidateScanZeroAllocs is the acceptance allocation check: with no
 // sink attached, the candidate-scan hot path (GainAdd and a warm serial
 // GainsAdd) performs zero allocations per operation — instrumentation is
-// one atomic add, never an allocation.
+// one atomic add, never an allocation. Both eval modes are covered: under
+// EvalIncremental a warm GainsAdd is a pure return, under EvalRebuild it
+// re-runs the fused grid scan — neither may allocate.
 func TestCandidateScanZeroAllocs(t *testing.T) {
 	rng := xrand.New(306)
 	inst := testInstance(t, 24, 10, 4, 0.8, rng)
-	s := inst.NewSearch(nil)
-	setSearchWorkers(s, 1)
-	s.GainsAdd() // warm scratch buffers
+	for _, mode := range []EvalMode{EvalIncremental, EvalRebuild} {
+		mi, err := NewInstance(inst.Graph(), inst.Pairs(), inst.Threshold(), inst.K(),
+			&Options{AllowTrivial: true, Table: inst.Table(), EvalMode: mode})
+		if err != nil {
+			t.Fatalf("NewInstance(%s): %v", mode, err)
+		}
+		s := mi.NewSearch(nil)
+		setSearchWorkers(s, 1)
+		s.GainsAdd() // warm scratch buffers
 
-	if allocs := testing.AllocsPerRun(50, func() { s.GainsAdd() }); allocs != 0 {
-		t.Errorf("GainsAdd (serial, warm) allocates %v/op", allocs)
-	}
-	if allocs := testing.AllocsPerRun(50, func() { s.GainAdd(3) }); allocs != 0 {
-		t.Errorf("GainAdd allocates %v/op", allocs)
+		if allocs := testing.AllocsPerRun(50, func() { s.GainsAdd() }); allocs != 0 {
+			t.Errorf("%s: GainsAdd (serial, warm) allocates %v/op", mode, allocs)
+		}
+		if allocs := testing.AllocsPerRun(50, func() { s.GainAdd(3) }); allocs != 0 {
+			t.Errorf("%s: GainAdd allocates %v/op", mode, allocs)
+		}
 	}
 }
 
@@ -326,10 +335,17 @@ func benchInstance(tb testing.TB, n, m, k int, dt float64, rng *xrand.Rand) *Ins
 }
 
 // BenchmarkGainsAddSerialNoSink is the alloc/op evidence the acceptance
-// criteria call for; run with -benchmem.
+// criteria call for; run with -benchmem. It pins EvalRebuild so every
+// iteration re-runs the fused grid scan — under the incremental default a
+// warm GainsAdd is a pure return and would measure nothing.
 func BenchmarkGainsAddSerialNoSink(b *testing.B) {
 	rng := xrand.New(307)
-	inst := benchInstance(b, 64, 20, 6, 0.8, rng)
+	inst0 := benchInstance(b, 64, 20, 6, 0.8, rng)
+	inst, err := NewInstance(inst0.Graph(), inst0.Pairs(), inst0.Threshold(), inst0.K(),
+		&Options{AllowTrivial: true, Table: inst0.Table(), EvalMode: EvalRebuild})
+	if err != nil {
+		b.Fatalf("NewInstance: %v", err)
+	}
 	s := inst.NewSearch(nil)
 	setSearchWorkers(s, 1)
 	s.GainsAdd()

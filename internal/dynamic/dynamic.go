@@ -285,7 +285,23 @@ var (
 	_ core.ParallelSearch = (*multiSearch)(nil)
 	_ core.ScanTimer      = (*multiSearch)(nil)
 	_ core.ContextAware   = (*multiSearch)(nil)
+	_ core.EvalStats      = (*multiSearch)(nil)
 )
+
+// LastEvalStats implements core.EvalStats by draining and summing the
+// per-time-instance incremental-evaluation accumulators.
+func (s *multiSearch) LastEvalStats() (rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped int64) {
+	for _, sub := range s.subs {
+		if es, ok := sub.(core.EvalStats); ok {
+			rm, ru, pr, ps := es.LastEvalStats()
+			rowsMerged += rm
+			rowsUnchanged += ru
+			pairsRescanned += pr
+			pairsSkipped += ps
+		}
+	}
+	return rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped
+}
 
 // SetContext implements core.ContextAware by forwarding the supervision
 // context to every per-instance search, so cancellation interrupts the
@@ -405,9 +421,13 @@ func (s *multiSearch) GainsAdd() []int {
 }
 
 // BestAdd scans all candidates, summing per-instance gains (ties toward
-// the lowest candidate index).
+// the lowest candidate index). On a degenerate problem with an empty
+// candidate universe it returns (-1, 0).
 func (s *multiSearch) BestAdd() (cand, gain int) {
 	gains := s.GainsAdd()
+	if len(gains) == 0 {
+		return -1, 0
+	}
 	best, bestGain := 0, gains[0]
 	for c := 1; c < len(gains); c++ {
 		if gains[c] > bestGain {

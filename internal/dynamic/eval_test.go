@@ -1,0 +1,130 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"msc/internal/core"
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+	"msc/internal/telemetry"
+	"msc/internal/xrand"
+)
+
+// evalSeries builds the same T-instance series twice — once evaluated
+// incrementally, once by full rebuilds — from one RNG stream, so both
+// series share graphs, pairs, and budgets exactly.
+func evalSeries(t *testing.T, n, m, k, T int, dt float64, seed int64) (inc, reb []*core.Instance) {
+	t.Helper()
+	rng := xrand.New(seed)
+	for i := 0; i < T; i++ {
+		b := graph.NewBuilder(n)
+		perm := rng.Perm(n)
+		for j := 1; j < n; j++ {
+			b.AddEdge(graph.NodeID(perm[j]), graph.NodeID(perm[rng.Intn(j)]), 0.1+rng.Float64())
+		}
+		for e := 0; e < 2*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v), 0.1+rng.Float64())
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ps []pairs.Pair
+		seen := map[pairs.Pair]bool{}
+		for len(ps) < m {
+			p := pairs.New(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+			if p.U == p.W || seen[p] {
+				continue
+			}
+			seen[p] = true
+			ps = append(ps, p)
+		}
+		pset, err := pairs.NewSet(n, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thr := failprob.Threshold{P: 1 - math.Exp(-dt), D: dt}
+		ii, err := core.NewInstance(g, pset, thr, k, &core.Options{AllowTrivial: true, EvalMode: core.EvalIncremental})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := core.NewInstance(g, pset, thr, k, &core.Options{AllowTrivial: true, EvalMode: core.EvalRebuild})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc = append(inc, ii)
+		reb = append(reb, ri)
+	}
+	return inc, reb
+}
+
+// evalSink collects RoundEvents so the test can check the multi-instance
+// EvalStats aggregation reaches the trace layer.
+type evalSink struct{ rounds []telemetry.RoundEvent }
+
+func (s *evalSink) Emit(e telemetry.Event) {
+	if r, ok := e.(telemetry.RoundEvent); ok {
+		s.rounds = append(s.rounds, r)
+	}
+}
+
+// TestDynamicEvalDifferential runs the dynamic problem's solvers over
+// incrementally evaluated and rebuild-evaluated instance series: identical
+// placements, per-instance σ breakdowns, and sandwich bounds, serial and
+// parallel. It also checks that the per-round eval stats summed over the
+// per-instance sub-searches reach GreedySigma's trace.
+func TestDynamicEvalDifferential(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			incInsts, rebInsts := evalSeries(t, 12, 5, 3, 3, 0.8, 9850+seed)
+			iprob, err := NewProblem(incInsts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rprob, err := NewProblem(rebInsts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, workers := range []int{1, 8} {
+				ipl := core.GreedySigma(iprob, core.Parallelism(workers))
+				rpl := core.GreedySigma(rprob, core.Parallelism(workers))
+				if ipl.Sigma != rpl.Sigma || !reflect.DeepEqual(ipl.Selection, rpl.Selection) {
+					t.Errorf("par %d: GreedySigma differs: incremental (σ=%d, %v), rebuild (σ=%d, %v)",
+						workers, ipl.Sigma, ipl.Selection, rpl.Sigma, rpl.Selection)
+				}
+				if !reflect.DeepEqual(iprob.SigmaPerInstance(ipl.Selection), rprob.SigmaPerInstance(rpl.Selection)) {
+					t.Errorf("par %d: per-instance σ breakdown differs", workers)
+				}
+
+				ires := core.Sandwich(iprob, core.Parallelism(workers))
+				rres := core.Sandwich(rprob, core.Parallelism(workers))
+				if ires.Best.Sigma != rres.Best.Sigma || !reflect.DeepEqual(ires.Best.Selection, rres.Best.Selection) {
+					t.Errorf("par %d: Sandwich.Best differs", workers)
+				}
+				if ires.Ratio != rres.Ratio {
+					t.Errorf("par %d: sandwich ratio differs: incremental %v, rebuild %v", workers, ires.Ratio, rres.Ratio)
+				}
+			}
+
+			sink := &evalSink{}
+			pl := core.GreedySigma(iprob, core.WithSink(sink))
+			if len(pl.Selection) > 0 {
+				var merged int64
+				for _, ev := range sink.rounds {
+					merged += ev.RowsMerged + ev.RowsUnchanged
+				}
+				if merged == 0 {
+					t.Error("dynamic greedy rounds report no merged/unchanged rows despite incremental subs")
+				}
+			}
+		})
+	}
+}

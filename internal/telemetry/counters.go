@@ -42,6 +42,22 @@ type Counters struct {
 	RowCacheComputes atomic.Int64
 	// RowCacheEvictions counts rows dropped to respect a lazy table's cap.
 	RowCacheEvictions atomic.Int64
+
+	// RowsMerged counts endpoint distance rows updated in place by the
+	// incremental O(n) shortcut merge (core search Add); RowsUnchanged
+	// counts rows the merge proved untouched. Both stay 0 on the rebuild
+	// evaluation path. Like the solver counters, their totals are
+	// worker-count invariant: whether a row changed depends only on the
+	// (deterministic) distance values, never on shard boundaries.
+	RowsMerged    atomic.Int64
+	RowsUnchanged atomic.Int64
+	// PairsRescanned counts pairs whose per-candidate gains contribution
+	// was (re)computed by a gains scan — every unsatisfied pair on a cold
+	// scan, only the changed-row and newly-satisfied pairs on a delta
+	// rescan. PairsSkipped counts unsatisfied pairs a delta rescan proved
+	// it could keep verbatim (no endpoint row changed).
+	PairsRescanned atomic.Int64
+	PairsSkipped   atomic.Int64
 }
 
 // global is the process-wide counter set every instrumented package feeds.
@@ -71,6 +87,11 @@ type CounterSnapshot struct {
 	RowCacheMisses    int64 `json:"row_cache_misses"`
 	RowCacheComputes  int64 `json:"row_cache_computes"`
 	RowCacheEvictions int64 `json:"row_cache_evictions"`
+
+	RowsMerged     int64 `json:"rows_merged"`
+	RowsUnchanged  int64 `json:"rows_unchanged"`
+	PairsRescanned int64 `json:"pairs_rescanned"`
+	PairsSkipped   int64 `json:"pairs_skipped"`
 }
 
 // Snapshot reads all counters. Each field is read atomically; the snapshot
@@ -92,6 +113,11 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		RowCacheMisses:    c.RowCacheMisses.Load(),
 		RowCacheComputes:  c.RowCacheComputes.Load(),
 		RowCacheEvictions: c.RowCacheEvictions.Load(),
+
+		RowsMerged:     c.RowsMerged.Load(),
+		RowsUnchanged:  c.RowsUnchanged.Load(),
+		PairsRescanned: c.PairsRescanned.Load(),
+		PairsSkipped:   c.PairsSkipped.Load(),
 	}
 }
 
@@ -111,6 +137,10 @@ func (c *Counters) Reset() {
 	c.RowCacheMisses.Store(0)
 	c.RowCacheComputes.Store(0)
 	c.RowCacheEvictions.Store(0)
+	c.RowsMerged.Store(0)
+	c.RowsUnchanged.Store(0)
+	c.PairsRescanned.Store(0)
+	c.PairsSkipped.Store(0)
 }
 
 // BackendInvariant returns a copy of the snapshot with every counter that
@@ -148,5 +178,10 @@ func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
 		RowCacheMisses:    s.RowCacheMisses - prev.RowCacheMisses,
 		RowCacheComputes:  s.RowCacheComputes - prev.RowCacheComputes,
 		RowCacheEvictions: s.RowCacheEvictions - prev.RowCacheEvictions,
+
+		RowsMerged:     s.RowsMerged - prev.RowsMerged,
+		RowsUnchanged:  s.RowsUnchanged - prev.RowsUnchanged,
+		PairsRescanned: s.PairsRescanned - prev.PairsRescanned,
+		PairsSkipped:   s.PairsSkipped - prev.PairsSkipped,
 	}
 }

@@ -42,6 +42,16 @@ type RoundEvent struct {
 	ShardMinNS int64 `json:"shard_min_ns"`
 	ShardMaxNS int64 `json:"shard_max_ns"`
 	Shards     int   `json:"shards"`
+	// Incremental-evaluation work of the round (core.EvalStats):
+	// RowsMerged/RowsUnchanged split the endpoint distance rows by whether
+	// the committed shortcut's O(n) merge changed them; PairsRescanned/
+	// PairsSkipped split the round's gains scan by whether a pair's
+	// per-candidate contribution had to be recomputed. All 0 on the
+	// rebuild evaluation path and for emitters without incremental state.
+	RowsMerged     int64 `json:"rows_merged"`
+	RowsUnchanged  int64 `json:"rows_unchanged"`
+	PairsRescanned int64 `json:"pairs_rescanned"`
+	PairsSkipped   int64 `json:"pairs_skipped"`
 }
 
 // EventKind implements Event.
@@ -140,6 +150,10 @@ type RunRecord struct {
 	// DistBackend records the distance backend the run was launched with
 	// ("auto", "dense", "lazy"); "" for runs that predate the field.
 	DistBackend string `json:"dist_backend"`
+	// EvalMode records the search evaluation mode the run was launched
+	// with ("auto", "incremental", "rebuild"); "" for runs that predate
+	// the field.
+	EvalMode string `json:"eval_mode"`
 	// Quick marks reduced-scale smoke runs.
 	Quick bool `json:"quick"`
 	// Instance shape: node count, important pairs, candidate-universe

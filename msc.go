@@ -96,6 +96,9 @@ type (
 	// DistBackend selects the distance backend an instance builds when no
 	// table is supplied: BackendAuto, BackendDense, or BackendLazy.
 	DistBackend = core.DistBackend
+	// EvalMode selects how searches maintain their state across Add
+	// commits: EvalIncremental or EvalRebuild.
+	EvalMode = core.EvalMode
 	// Rand is the deterministic randomness source used by the randomized
 	// algorithms and generators.
 	Rand = xrand.Rand
@@ -168,6 +171,18 @@ const (
 	DefaultLazyThreshold = core.DefaultLazyThreshold
 )
 
+// Evaluation modes selectable via InstanceOptions.EvalMode. EvalModeAuto
+// (the zero value) resolves to EvalIncremental — O(n) row merges and delta
+// gains rescans when a search commits a shortcut — unless
+// SetDefaultEvalMode installed a different default; EvalRebuild restores
+// the full-recompute reference path. Placements, σ values, and gains
+// arrays are identical across modes.
+const (
+	EvalModeAuto    = core.EvalModeAuto
+	EvalIncremental = core.EvalIncremental
+	EvalRebuild     = core.EvalRebuild
+)
+
 // Parallelism fixes the number of candidate-scan workers a solver may use:
 // 1 restores the fully serial code path, n <= 0 (or omitting the option)
 // selects the package default. Placements are identical for every worker
@@ -237,6 +252,15 @@ func SetDefaultDistBackend(b DistBackend) { core.SetDefaultDistBackend(b) }
 // ParseDistBackend validates a -dist-backend flag value ("auto", "dense",
 // "lazy").
 func ParseDistBackend(s string) (DistBackend, error) { return core.ParseDistBackend(s) }
+
+// SetDefaultEvalMode sets the evaluation mode used by instances built with
+// EvalModeAuto; EvalModeAuto restores the incremental default. Wired to
+// the -eval flag of mscplace and mscbench.
+func SetDefaultEvalMode(m EvalMode) { core.SetDefaultEvalMode(m) }
+
+// ParseEvalMode validates an -eval flag value ("auto", "incremental",
+// "rebuild").
+func ParseEvalMode(s string) (EvalMode, error) { return core.ParseEvalMode(s) }
 
 // SampleViolatingPairs randomly picks m pairs whose current best path
 // violates the distance threshold — the paper's evaluation setup
