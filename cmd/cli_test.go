@@ -9,10 +9,13 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"msc/internal/telemetry"
 )
 
 // runTool executes `go run ./cmd/<tool> args...` from the module root.
@@ -461,4 +464,97 @@ func TestMscplaceJSONLTrace(t *testing.T) {
 	}
 	// The mscbench validator accepts mscplace traces too — one schema.
 	runTool(t, "mscbench", "-validate", trace)
+}
+
+// TestMscsweepEndToEnd drives the sweep orchestrator against real
+// binaries: a 2×2 matrix (two solvers × two seeds) generates instances,
+// fans mscplace across worker processes, and aggregates the kept JSONL
+// records into a trajectory. Every kept record file must pass the
+// telemetry schema validator, and the trajectory must self-diff with
+// zero regressions.
+func TestMscsweepEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"mscgen", "mscplace", "mscsweep"} {
+		buildTool(t, dir, tool)
+	}
+	matrix := filepath.Join(dir, "matrix.json")
+	if err := os.WriteFile(matrix, []byte(`{
+		"families": ["rgg"], "n": [40], "m": [8], "p_t": [0.12], "k": [2],
+		"solvers": ["greedy", "sandwich"], "seeds": [1, 2], "quick": true
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	records := filepath.Join(dir, "records")
+	traj := filepath.Join(dir, "BENCH_e2e.json")
+
+	sweepBin := filepath.Join(dir, "mscsweep")
+	cmd := exec.Command(sweepBin, "-matrix", matrix, "-tools", dir,
+		"-keep", records, "-out", traj, "-host", "e2e", "-workers", "2")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mscsweep failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "4 runs -> 2 scenarios") {
+		t.Fatalf("sweep summary unexpected:\n%s", out)
+	}
+
+	// Every kept per-run record file is a schema-valid telemetry stream.
+	kept, err := filepath.Glob(filepath.Join(records, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 4 {
+		t.Fatalf("kept %d record files, want 4: %v", len(kept), kept)
+	}
+	for _, path := range kept {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = telemetry.ValidateJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	// mscsweep validates its own trajectory output.
+	if out, err := exec.Command(sweepBin, "-validate", traj).CombinedOutput(); err != nil {
+		t.Fatalf("trajectory validation failed: %v\n%s", err, out)
+	}
+
+	// A trajectory diffed against itself gates clean with zero findings.
+	out, err = exec.Command(sweepBin, "-diff", traj, traj).CombinedOutput()
+	if err != nil {
+		t.Fatalf("self-diff tripped the gate: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 regression(s)") {
+		t.Fatalf("self-diff not clean:\n%s", out)
+	}
+
+	// An injected counter regression must trip the gate with a typed,
+	// named finding and a non-zero exit.
+	raw, err := os.ReadFile(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := regexp.MustCompile(`("counters\.dijkstra_runs": \{\n\s*"median": )(\d+)`).
+		ReplaceAllString(string(raw), "${1}9999999")
+	if worse == string(raw) {
+		t.Fatalf("failed to inject regression into trajectory:\n%s", raw)
+	}
+	worsePath := filepath.Join(dir, "BENCH_worse.json")
+	if err := os.WriteFile(worsePath, []byte(worse), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(sweepBin, "-diff", traj, worsePath).CombinedOutput()
+	if err == nil {
+		t.Fatalf("gate passed a massive counter regression:\n%s", out)
+	}
+	if !strings.Contains(string(out), "REGRESSION") || !strings.Contains(string(out), "counters.dijkstra_runs") {
+		t.Fatalf("gate failure does not name the finding:\n%s", out)
+	}
 }

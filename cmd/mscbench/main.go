@@ -37,20 +37,32 @@ var validIDs = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig
 
 // resolveIDs expands and validates a comma-separated -exp value. Unknown
 // ids fail fast — before any experiment runs — with the full valid set, so
-// a typo can never masquerade as a clean empty run.
+// a typo can never masquerade as a clean empty run. Repeated ids (given
+// twice, or once plus via "all") run once, keeping first-occurrence order:
+// each experiment owns its id in the output, so a duplicate would double
+// the suite's wall time and emit ambiguous duplicate records.
 func resolveIDs(exp string) ([]string, error) {
 	known := make(map[string]bool, len(validIDs))
 	for _, id := range validIDs {
 		known[id] = true
 	}
 	var ids []string
+	seen := make(map[string]bool, len(validIDs))
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
 	for _, id := range strings.Split(exp, ",") {
 		id = strings.TrimSpace(id)
 		switch {
 		case id == "all":
-			ids = append(ids, validIDs...)
+			for _, v := range validIDs {
+				add(v)
+			}
 		case known[id]:
-			ids = append(ids, id)
+			add(id)
 		default:
 			return nil, fmt.Errorf("unknown experiment %q: valid ids are %s, all", id, strings.Join(validIDs, ", "))
 		}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestResolveIDs(t *testing.T) {
+	cases := []struct {
+		name    string
+		exp     string
+		want    []string
+		wantErr string
+	}{
+		{"single id", "table1", []string{"table1"}, ""},
+		{"comma list keeps given order", "fig3,table1", []string{"fig3", "table1"}, ""},
+		{"whitespace trimmed", " table1 , fig2 ", []string{"table1", "fig2"}, ""},
+		{"all expands to suite order", "all", validIDs, ""},
+		{"duplicate id runs once", "table1,table1", []string{"table1"}, ""},
+		{"duplicate keeps first occurrence order", "fig2,table1,fig2,table1", []string{"fig2", "table1"}, ""},
+		{"id then all does not repeat it", "fig3,all", append([]string{"fig3"}, removeID(validIDs, "fig3")...), ""},
+		{"all then id does not repeat it", "all,table2", validIDs, ""},
+		{"all twice is one suite", "all,all", validIDs, ""},
+		{"unknown id fails fast", "table1,bogus", nil, `unknown experiment "bogus"`},
+		{"empty element fails", "table1,,fig1", nil, `unknown experiment ""`},
+		{"empty value fails", "", nil, `unknown experiment ""`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := resolveIDs(tc.exp)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("resolveIDs(%q) = %v, want %v", tc.exp, got, tc.want)
+			}
+		})
+	}
+}
+
+func removeID(ids []string, drop string) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if id != drop {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"msc/internal/telemetry"
+)
+
+// TrajectorySchemaVersion is the schema_version the encoder writes and
+// the decoder requires. Bump it when the trajectory format changes shape;
+// the differ refuses to compare across versions.
+const TrajectorySchemaVersion = 1
+
+// MetricStats summarizes one metric across a scenario's per-seed runs.
+// All values are rounded to a fixed precision (3 decimals) before
+// encoding so a trajectory file is byte-stable for byte-stable inputs.
+type MetricStats struct {
+	Median float64 `json:"median"`
+	// IQR is the interquartile range (Tukey hinges: the medians of the
+	// lower and upper halves), the noise measure the differ reports next
+	// to a flagged delta.
+	IQR float64 `json:"iqr"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// ScenarioStats is the aggregate of every run sharing one scenario key.
+type ScenarioStats struct {
+	// Runs is the number of runs folded in; Seeds the sorted seeds they
+	// used. The differ refuses to compare scenarios whose seed sets
+	// differ — the samples would not be the same population.
+	Runs  int     `json:"runs"`
+	Seeds []int64 `json:"seeds"`
+	// Metrics maps metric name (sigma, wall_ms, counters.<field>) to its
+	// summary statistics.
+	Metrics map[string]MetricStats `json:"metrics"`
+}
+
+// Trajectory is the canonical BENCH_*.json document: one scenario-keyed
+// map of aggregate statistics. It deliberately carries no timestamp or
+// toolchain stamp, so re-running an identical sweep on identical code
+// yields an identical file up to wall-clock metrics.
+type Trajectory struct {
+	SchemaVersion int                      `json:"schema_version"`
+	Tool          string                   `json:"tool"`
+	Host          string                   `json:"host"`
+	Scenarios     map[string]ScenarioStats `json:"scenarios"`
+}
+
+// AggregateError is a typed aggregation failure.
+type AggregateError struct{ Reason string }
+
+func (e *AggregateError) Error() string { return "sweep: aggregate: " + e.Reason }
+
+// Aggregate folds per-run results into a trajectory: runs sharing a
+// scenario key become one ScenarioStats with median/IQR per metric. It
+// fails (typed *AggregateError) on an empty result set, on any failed
+// run, and on duplicate (key, seed) pairs — a sweep that double-ran a
+// scenario must not silently skew its own medians.
+func Aggregate(host string, results []Result) (*Trajectory, error) {
+	if len(results) == 0 {
+		return nil, &AggregateError{Reason: "no results to aggregate"}
+	}
+	byKey := make(map[string][]Result)
+	seen := make(map[string]bool, len(results))
+	for _, res := range results {
+		key := res.Scenario.Key()
+		if res.Err != nil {
+			return nil, &AggregateError{Reason: fmt.Sprintf("run %s seed %d failed: %v", key, res.Scenario.Seed, res.Err)}
+		}
+		dup := fmt.Sprintf("%s#%d", key, res.Scenario.Seed)
+		if seen[dup] {
+			return nil, &AggregateError{Reason: fmt.Sprintf("duplicate run for %s seed %d", key, res.Scenario.Seed)}
+		}
+		seen[dup] = true
+		byKey[key] = append(byKey[key], res)
+	}
+	t := &Trajectory{
+		SchemaVersion: TrajectorySchemaVersion,
+		Tool:          "mscsweep",
+		Host:          host,
+		Scenarios:     make(map[string]ScenarioStats, len(byKey)),
+	}
+	for key, runs := range byKey {
+		stats := ScenarioStats{Runs: len(runs), Metrics: make(map[string]MetricStats)}
+		samples := make(map[string][]float64)
+		for _, res := range runs {
+			stats.Seeds = append(stats.Seeds, res.Scenario.Seed)
+			metrics, err := recordMetrics(res.Record)
+			if err != nil {
+				return nil, &AggregateError{Reason: fmt.Sprintf("run %s seed %d: %v", key, res.Scenario.Seed, err)}
+			}
+			for name, v := range metrics {
+				samples[name] = append(samples[name], v)
+			}
+		}
+		sort.Slice(stats.Seeds, func(i, j int) bool { return stats.Seeds[i] < stats.Seeds[j] })
+		for name, xs := range samples {
+			if len(xs) != len(runs) {
+				return nil, &AggregateError{Reason: fmt.Sprintf("scenario %s: metric %s present in %d of %d runs", key, name, len(xs), len(runs))}
+			}
+			stats.Metrics[name] = summarize(xs)
+		}
+		t.Scenarios[key] = stats
+	}
+	return t, nil
+}
+
+// recordMetrics flattens one run record into the metric namespace the
+// trajectory stores: sigma, wall_ms, and every counter field under
+// "counters.". Counter names come from the CounterSnapshot JSON schema
+// itself (via an encode/decode round trip), so a counter added to the
+// telemetry schema flows into trajectories without touching this package.
+func recordMetrics(rec telemetry.RunRecord) (map[string]float64, error) {
+	m := map[string]float64{
+		"sigma":   float64(rec.Sigma),
+		"wall_ms": rec.WallMS,
+	}
+	body, err := json.Marshal(rec.Counters)
+	if err != nil {
+		return nil, fmt.Errorf("encode counters: %v", err)
+	}
+	var counters map[string]float64
+	if err := json.Unmarshal(body, &counters); err != nil {
+		return nil, fmt.Errorf("decode counters: %v", err)
+	}
+	for name, v := range counters {
+		m["counters."+name] = v
+	}
+	return m, nil
+}
+
+// summarize computes the rounded summary statistics of a non-empty
+// sample.
+func summarize(xs []float64) MetricStats {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	q1, q3 := hinges(sorted)
+	return MetricStats{
+		Median: round3(median(sorted)),
+		IQR:    round3(q3 - q1),
+		Min:    round3(sorted[0]),
+		Max:    round3(sorted[len(sorted)-1]),
+	}
+}
+
+// median of an already sorted, non-empty sample.
+func median(sorted []float64) float64 {
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// hinges returns Tukey's lower and upper hinges (the medians of the lower
+// and upper halves, sharing the middle element for odd lengths).
+func hinges(sorted []float64) (q1, q3 float64) {
+	n := len(sorted)
+	if n < 2 {
+		return sorted[0], sorted[0]
+	}
+	half := n / 2
+	lower := sorted[:half]
+	upper := sorted[n-half:]
+	if n%2 == 1 {
+		lower = sorted[:half+1]
+		upper = sorted[half:]
+	}
+	return median(lower), median(upper)
+}
+
+// round3 rounds to 3 decimals — the fixed float formatting of the
+// trajectory file. Counters are integers and survive unchanged; wall
+// times keep microsecond resolution, far below any gating threshold.
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}
+
+// TrajectoryError is a typed trajectory decode/validation failure.
+type TrajectoryError struct{ Reason string }
+
+func (e *TrajectoryError) Error() string { return "sweep: trajectory: " + e.Reason }
+
+// Encode renders the canonical byte representation: two-space indented
+// JSON with sorted keys (encoding/json sorts map keys) and a trailing
+// newline. Golden tests lock the exact bytes.
+func (t *Trajectory) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTrajectory parses and validates a trajectory document. Unknown
+// fields, a missing or mismatched schema version, and structurally
+// invalid scenarios are typed *TrajectoryError failures — the differ
+// never operates on a document this function rejected.
+func DecodeTrajectory(data []byte) (*Trajectory, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var t Trajectory
+	if err := dec.Decode(&t); err != nil {
+		return nil, &TrajectoryError{Reason: fmt.Sprintf("not a trajectory document: %v", err)}
+	}
+	// Trailing garbage after the document is corruption, not formatting.
+	if dec.More() {
+		return nil, &TrajectoryError{Reason: "trailing data after trajectory document"}
+	}
+	if t.SchemaVersion != TrajectorySchemaVersion {
+		return nil, &TrajectoryError{Reason: fmt.Sprintf("schema_version %d, want %d", t.SchemaVersion, TrajectorySchemaVersion)}
+	}
+	if len(t.Scenarios) == 0 {
+		return nil, &TrajectoryError{Reason: "no scenarios"}
+	}
+	for key, sc := range t.Scenarios {
+		if sc.Runs <= 0 {
+			return nil, &TrajectoryError{Reason: fmt.Sprintf("scenario %q: non-positive run count %d", key, sc.Runs)}
+		}
+		if len(sc.Seeds) != sc.Runs {
+			return nil, &TrajectoryError{Reason: fmt.Sprintf("scenario %q: %d seeds for %d runs", key, len(sc.Seeds), sc.Runs)}
+		}
+		if len(sc.Metrics) == 0 {
+			return nil, &TrajectoryError{Reason: fmt.Sprintf("scenario %q: no metrics", key)}
+		}
+		for name, ms := range sc.Metrics {
+			for what, v := range map[string]float64{"median": ms.Median, "iqr": ms.IQR, "min": ms.Min, "max": ms.Max} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, &TrajectoryError{Reason: fmt.Sprintf("scenario %q: metric %q has non-finite %s", key, name, what)}
+				}
+			}
+		}
+	}
+	return &t, nil
+}
+
+// ReadTrajectoryFile loads and validates a trajectory from disk.
+func ReadTrajectoryFile(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := DecodeTrajectory(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// WriteTrajectoryFile writes the canonical encoding to disk.
+func WriteTrajectoryFile(path string, t *Trajectory) error {
+	data, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

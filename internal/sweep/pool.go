@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"msc/internal/telemetry"
+)
+
+// Runner executes one scenario and returns its solver run record.
+// ProcessRunner is the production implementation (worker processes);
+// tests substitute fakes to exercise the pool and the aggregation layers
+// without spawning anything.
+type Runner interface {
+	Run(ctx context.Context, sc Scenario) (telemetry.RunRecord, error)
+}
+
+// Result pairs a scenario with the outcome of its run. Exactly one of
+// Record/Err is meaningful: a failed run keeps the zero record.
+type Result struct {
+	Scenario Scenario
+	Record   telemetry.RunRecord
+	Err      error
+}
+
+// RunAll fans scenarios across a bounded pool of workers goroutines, each
+// of which drives one child process at a time through the Runner. Results
+// come back indexed by scenario position, so the output order is the
+// deterministic Expand order regardless of completion interleaving.
+//
+// Cancellation of ctx stops the fan-out: queued scenarios fail fast with
+// ctx's error, while in-flight runs are left to the Runner's own
+// supervision (ProcessRunner forwards SIGINT and collects best-so-far
+// records, PR 3 style). RunAll itself never fails — per-run errors travel
+// in the Results, and the caller decides how many failures a sweep
+// tolerates.
+//
+// progress, when non-nil, is invoked once per completed run from worker
+// goroutines (it must be safe for concurrent use — the CLI serializes
+// through a mutex).
+func RunAll(ctx context.Context, r Runner, scenarios []Scenario, workers int, progress func(Result)) []Result {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	results := make([]Result, len(scenarios))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sc := scenarios[i]
+				res := Result{Scenario: sc}
+				if err := ctx.Err(); err != nil {
+					res.Err = fmt.Errorf("sweep: run %s seed %d not started: %w", sc.Key(), sc.Seed, err)
+				} else {
+					res.Record, res.Err = r.Run(ctx, sc)
+				}
+				results[i] = res
+				if progress != nil {
+					progress(res)
+				}
+			}
+		}()
+	}
+	for i := range scenarios {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

@@ -36,6 +36,40 @@ var requiredKeys = func() map[string][]string {
 	return req
 }()
 
+// validateLine schema-checks a single JSONL line and returns its event
+// kind: the line must parse as a JSON object, carry an "event"
+// discriminator naming a known kind, and contain every field that kind's
+// schema requires. Both ValidateJSONL and ReadRunRecords route through
+// here, so the two can never disagree on what a valid stream is.
+func validateLine(line []byte) (kind string, err error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(line, &m); err != nil {
+		return "", fmt.Errorf("not a JSON object: %v", err)
+	}
+	raw, ok := m["event"]
+	if !ok {
+		return "", fmt.Errorf("missing \"event\" discriminator")
+	}
+	if err := json.Unmarshal(raw, &kind); err != nil {
+		return "", fmt.Errorf("\"event\" is not a string: %v", err)
+	}
+	req, ok := requiredKeys[kind]
+	if !ok {
+		return kind, fmt.Errorf("unknown event kind %q", kind)
+	}
+	for _, k := range req {
+		if _, ok := m[k]; !ok {
+			return kind, fmt.Errorf("%s event missing required field %q", kind, k)
+		}
+	}
+	if kind == (RunRecord{}).EventKind() {
+		if err := validateCounters(m["counters"]); err != nil {
+			return kind, err
+		}
+	}
+	return kind, nil
+}
+
 // ValidateJSONL checks a JSON-Lines telemetry stream against the event
 // schema: every non-empty line must parse as a JSON object, carry an
 // "event" discriminator naming a known kind, and contain every field that
@@ -55,29 +89,9 @@ func ValidateJSONL(r io.Reader) (counts map[string]int, err error) {
 		if len(line) == 0 {
 			continue
 		}
-		var m map[string]json.RawMessage
-		if err := json.Unmarshal(line, &m); err != nil {
-			return counts, fmt.Errorf("line %d: not a JSON object: %v", lineNo, err)
-		}
-		var kind string
-		if raw, ok := m["event"]; !ok {
-			return counts, fmt.Errorf("line %d: missing \"event\" discriminator", lineNo)
-		} else if err := json.Unmarshal(raw, &kind); err != nil {
-			return counts, fmt.Errorf("line %d: \"event\" is not a string: %v", lineNo, err)
-		}
-		req, ok := requiredKeys[kind]
-		if !ok {
-			return counts, fmt.Errorf("line %d: unknown event kind %q", lineNo, kind)
-		}
-		for _, k := range req {
-			if _, ok := m[k]; !ok {
-				return counts, fmt.Errorf("line %d: %s event missing required field %q", lineNo, kind, k)
-			}
-		}
-		if kind == (RunRecord{}).EventKind() {
-			if err := validateCounters(m["counters"]); err != nil {
-				return counts, fmt.Errorf("line %d: %v", lineNo, err)
-			}
+		kind, err := validateLine(line)
+		if err != nil {
+			return counts, fmt.Errorf("line %d: %v", lineNo, err)
 		}
 		counts[kind]++
 	}
@@ -85,6 +99,44 @@ func ValidateJSONL(r io.Reader) (counts map[string]int, err error) {
 		return counts, err
 	}
 	return counts, nil
+}
+
+// ReadRunRecords decodes every "run" record of a JSONL telemetry stream.
+// Each line — run record or not — is schema-validated exactly like
+// ValidateJSONL, so a stream that ReadRunRecords accepts is a stream
+// `mscbench -validate` accepts; the sweep aggregator relies on this to
+// never ingest a record CI would reject. Streams with no run record
+// return an empty slice and no error: the caller decides whether that is
+// a failure (the sweep orchestrator treats it as a broken child).
+func ReadRunRecords(r io.Reader) ([]RunRecord, error) {
+	var recs []RunRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	runKind := (RunRecord{}).EventKind()
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		kind, err := validateLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if kind != runKind {
+			continue
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("line %d: malformed run record: %v", lineNo, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 // LastCheckpoint scans a JSONL telemetry stream and returns the last
