@@ -73,7 +73,7 @@ func resolveIDs(exp string) ([]string, error) {
 	return ids, nil
 }
 
-func run(ctx context.Context) error {
+func run(ctx context.Context) (retErr error) {
 	_ = ctx // suite experiments run to completion; records stay comparable
 	var (
 		exp      = flag.String("exp", "all", "experiment id(s), comma-separated: "+strings.Join(validIDs, "|")+"|all")
@@ -89,6 +89,7 @@ func run(ctx context.Context) error {
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	prof := cli.AddProfileFlags(flag.CommandLine)
+	opsF := cli.AddOpsFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(cli.Version("mscbench"))
@@ -118,23 +119,46 @@ func run(ctx context.Context) error {
 		return err
 	}
 	defer stopProf()
+	plane, err := opsF.Start("mscbench")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := plane.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "mscbench: ops:", cerr)
+		}
+	}()
+	defer plane.Recover()
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
-	var sink *telemetry.JSONLSink
+	var jsonlSink *telemetry.JSONLSink
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		sink = telemetry.NewJSONL(f)
-		cfg.Sink = sink
+		jsonlSink = telemetry.NewJSONL(f)
+		// A sink write that failed silently poisons BENCH aggregation;
+		// surface the sticky error as a nonzero exit.
 		defer func() {
-			if err := sink.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "mscbench: jsonl:", err)
+			if err := jsonlSink.Err(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("jsonl: %w", err)
 			}
 		}()
 	}
+	// One sink feeds the experiments: the plane's fanout when ops is on
+	// (JSONL attached), the bare JSONL sink otherwise. Typed-nil sinks
+	// never reach the interface.
+	var sink telemetry.Sink
+	if jsonlSink != nil {
+		sink = jsonlSink
+	}
+	if plane != nil {
+		plane.Attach(sink)
+		sink = plane.Sink()
+	}
+	cfg.Sink = sink
 	for _, id := range ids {
 		before := telemetry.Global().Snapshot()
 		start := time.Now()

@@ -36,11 +36,22 @@ func run(ctx context.Context) error {
 		radius  = flag.Float64("radius", 0, "RGG connection radius (0 = auto-scale with n)")
 		version = flag.Bool("version", false, "print version and exit")
 	)
+	opsF := cli.AddOpsFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(cli.Version("mscgen"))
 		return nil
 	}
+	plane, err := opsF.Start("mscgen")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := plane.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "mscgen: ops:", cerr)
+		}
+	}()
+	defer plane.Recover()
 
 	w := os.Stdout
 	if *out != "" {

@@ -27,6 +27,7 @@ import (
 
 	"msc"
 	"msc/internal/cli"
+	"msc/internal/obs"
 )
 
 func main() { cli.Run("mscplace", run) }
@@ -43,7 +44,7 @@ type output struct {
 	RatioBound float64 `json:"ratio_bound,omitempty"`
 }
 
-func run(ctx context.Context) error {
+func run(ctx context.Context) (retErr error) {
 	var (
 		in       = flag.String("in", "", "instance JSON (required)")
 		alg      = flag.String("alg", "sandwich", "algorithm: sandwich|greedy|mu|nu|ea|aea|random|cn")
@@ -65,6 +66,7 @@ func run(ctx context.Context) error {
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	prof := cli.AddProfileFlags(flag.CommandLine)
+	opsF := cli.AddOpsFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(cli.Version("mscplace"))
@@ -87,20 +89,44 @@ func run(ctx context.Context) error {
 		return err
 	}
 	defer stopProf()
+	plane, err := opsF.Start("mscplace")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := plane.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "mscplace: ops:", cerr)
+		}
+	}()
+	// On a solver panic (a shard panic re-raised by ParallelFor), dump the
+	// flight recorder before the crash surfaces.
+	defer plane.Recover()
 
-	var sink *msc.JSONLSink
+	var jsonlSink *msc.JSONLSink
 	if *jsonl != "" {
 		tf, err := os.Create(*jsonl)
 		if err != nil {
 			return err
 		}
 		defer tf.Close()
-		sink = msc.NewJSONLSink(tf)
-		defer func() {
-			if err := sink.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "mscplace: jsonl:", err)
-			}
-		}()
+		jsonlSink = msc.NewJSONLSink(tf)
+	}
+	// The solver gets ONE sink: the ops plane's fanout when the plane is up
+	// (with the JSONL file attached to it), the bare JSONL sink otherwise.
+	// A typed-nil *JSONLSink must never reach the interface, so the
+	// interface value is only assigned from non-nil concrete sinks.
+	var sink msc.TelemetrySink
+	if jsonlSink != nil {
+		sink = jsonlSink
+	}
+	if plane != nil {
+		plane.Attach(sink)
+		sink = plane.Sink()
+	}
+	if sink != nil {
+		// Any sink implies round-level clock reads already, so also feed the
+		// obs histograms — RunRecord.ShardImbalance works without -ops.
+		obs.SetEnabled(true)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -191,8 +217,8 @@ func run(ctx context.Context) error {
 		defer cf.Close()
 		ckptSink := msc.NewJSONLSink(cf)
 		defer func() {
-			if err := ckptSink.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "mscplace: checkpoint:", err)
+			if err := ckptSink.Err(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("checkpoint: %w", err)
 			}
 		}()
 		eaOpts.CheckpointSink = ckptSink
@@ -201,6 +227,7 @@ func run(ctx context.Context) error {
 		aeaOpts.CheckpointEvery = *ckptEach
 	}
 	before := msc.CountersSnapshot()
+	imbBefore := obs.ShardImbalance.Snapshot()
 	start := time.Now()
 
 	var pl msc.Placement
@@ -245,24 +272,35 @@ func run(ctx context.Context) error {
 
 	if sink != nil {
 		sink.Emit(msc.RunRecord{
-			Name:        *alg,
-			Algorithm:   *alg,
-			Seed:        *seed,
-			Workers:     *par,
-			DistBackend: *distB,
-			EvalMode:    *evalM,
-			N:           inst.N(),
-			Pairs:       ps.Len(),
-			Candidates:  inst.NumCandidates(),
-			K:           budget,
-			Pt:          threshold,
-			Sigma:       pl.Sigma,
-			MaxSigma:    inst.MaxSigma(),
-			WallMS:      float64(time.Since(start).Nanoseconds()) / 1e6,
-			Counters:    msc.CountersSnapshot().Sub(before),
-			StopReason:  string(pl.Stop.Reason),
+			ShardImbalance: obs.ShardImbalance.Snapshot().Sub(imbBefore).Mean(),
+			Name:           *alg,
+			Algorithm:      *alg,
+			Seed:           *seed,
+			Workers:        *par,
+			DistBackend:    *distB,
+			EvalMode:       *evalM,
+			N:              inst.N(),
+			Pairs:          ps.Len(),
+			Candidates:     inst.NumCandidates(),
+			K:              budget,
+			Pt:             threshold,
+			Sigma:          pl.Sigma,
+			MaxSigma:       inst.MaxSigma(),
+			WallMS:         float64(time.Since(start).Nanoseconds()) / 1e6,
+			Counters:       msc.CountersSnapshot().Sub(before),
+			StopReason:     string(pl.Stop.Reason),
 		})
 	}
+	// A silently failed telemetry file is worse than no file: surface the
+	// sticky write error as a nonzero exit after the human-readable output.
+	defer func() {
+		if jsonlSink == nil || retErr != nil {
+			return
+		}
+		if err := jsonlSink.Err(); err != nil {
+			retErr = fmt.Errorf("jsonl: %w", err)
+		}
+	}()
 
 	fmt.Printf("algorithm:  %s\n", *alg)
 	switch pl.Stop.Reason {

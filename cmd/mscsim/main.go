@@ -30,11 +30,22 @@ func run(ctx context.Context) error {
 		seed    = flag.Int64("seed", 1, "random seed")
 		version = flag.Bool("version", false, "print version and exit")
 	)
+	opsF := cli.AddOpsFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(cli.Version("mscsim"))
 		return nil
 	}
+	plane, err := opsF.Start("mscsim")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := plane.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "mscsim: ops:", cerr)
+		}
+	}()
+	defer plane.Recover()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}

@@ -53,15 +53,27 @@ func run(ctx context.Context) error {
 		iters       = flag.Int("iters", 200, "iterations for ea/aea/random solvers")
 		wallPct     = flag.Float64("wall-threshold", 30, "wall-clock regression threshold in percent (0 disables wall gating — use for cross-host diffs)")
 		counterPct  = flag.Float64("counter-threshold", 1, "deterministic-counter and σ regression threshold in percent")
+		harvest     = flag.Bool("harvest-metrics", false, "run every child with its ops plane up (-ops 127.0.0.1:0) and harvest its /metrics exposition into the sweep results")
 		diffMode    = flag.Bool("diff", false, "diff two trajectory files (args: baseline candidate) and exit")
 		validatPath = flag.String("validate", "", "validate a trajectory file and exit")
 		version     = flag.Bool("version", false, "print version and exit")
 	)
+	opsF := cli.AddOpsFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(cli.Version("mscsweep"))
 		return nil
 	}
+	plane, err := opsF.Start("mscsweep")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := plane.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "mscsweep: ops:", cerr)
+		}
+	}()
+	defer plane.Recover()
 	opts := sweep.DefaultDiffOptions()
 	opts.WallPct = *wallPct
 	opts.CounterPct = *counterPct
@@ -124,6 +136,7 @@ func run(ctx context.Context) error {
 		WorkDir:  workDir,
 		Deadline: *deadline,
 		Iters:    *iters,
+		Ops:      *harvest,
 	}
 	needBench := len(matrix.Experiments) > 0
 	if runner.Mscgen, err = findTool(*tools, "mscgen"); err != nil {
@@ -157,8 +170,12 @@ func run(ctx context.Context) error {
 		if res.Err != nil {
 			status = "FAILED"
 		}
-		fmt.Printf("  [%d/%d] %s seed=%d %s (%.0f ms)\n", done, len(scenarios),
-			res.Scenario.Key(), res.Scenario.Seed, status, res.Record.WallMS)
+		extra := ""
+		if res.Metrics != nil {
+			extra = fmt.Sprintf(" metrics=%d", len(res.Metrics))
+		}
+		fmt.Printf("  [%d/%d] %s seed=%d %s (%.0f ms)%s\n", done, len(scenarios),
+			res.Scenario.Key(), res.Scenario.Seed, status, res.Record.WallMS, extra)
 	})
 	var failures []error
 	for _, res := range results {
@@ -182,6 +199,15 @@ func run(ctx context.Context) error {
 	}
 	fmt.Printf("sweep: %d runs -> %d scenarios -> %s in %v\n",
 		len(results), len(traj.Scenarios), out, time.Since(start).Round(time.Millisecond))
+	if *harvest {
+		var rounds, samples float64
+		for _, res := range results {
+			rounds += res.Metrics["msc_round_wall_seconds_count"]
+			samples += float64(len(res.Metrics))
+		}
+		fmt.Printf("sweep: harvested %.0f metric samples (%.0f solver rounds observed)\n",
+			samples, rounds)
+	}
 
 	if *baseline != "" {
 		base, err := sweep.ReadTrajectoryFile(*baseline)

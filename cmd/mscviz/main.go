@@ -36,11 +36,22 @@ func run(ctx context.Context) error {
 		width   = flag.Int("width", 720, "SVG width in pixels")
 		version = flag.Bool("version", false, "print version and exit")
 	)
+	opsF := cli.AddOpsFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(cli.Version("mscviz"))
 		return nil
 	}
+	plane, err := opsF.Start("mscviz")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := plane.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "mscviz: ops:", cerr)
+		}
+	}()
+	defer plane.Recover()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}

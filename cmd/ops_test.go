@@ -1,0 +1,303 @@
+// End-to-end coverage of the live observability plane: a real solver
+// process run with -ops, scraped over HTTP while it works, streamed over
+// SSE, and flight-dumped on SIGQUIT — the workflow EXPERIMENTS.md
+// documents.
+package cmd_test
+
+import (
+	"bufio"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"msc/internal/obs"
+	"msc/internal/telemetry"
+)
+
+// waitForFile polls until path exists and is non-empty, returning its
+// contents.
+func waitForFile(t *testing.T, path string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if raw, err := os.ReadFile(path); err == nil && len(raw) > 0 {
+			return string(raw)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s did not appear within %v", path, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// httpGetBody fetches url and returns the body, failing the test on any
+// error or non-200 status.
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, sb.String())
+	}
+	return sb.String()
+}
+
+// TestMscplaceOpsLiveSolve drives the full ops plane against a live
+// solver: scrape /metrics while the run is in flight, capture the /events
+// SSE stream, dump the flight recorder over HTTP and via SIGQUIT, and
+// verify every captured artifact against the telemetry schema.
+func TestMscplaceOpsLiveSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	addrFile := filepath.Join(dir, "ops.addr")
+	flight := filepath.Join(dir, "flight.jsonl")
+	runTool(t, "mscgen", "-kind", "rgg", "-n", "80", "-m", "15", "-pt", "0.12",
+		"-k", "4", "-seed", "31", "-out", inst)
+	bin := buildTool(t, dir, "mscplace")
+
+	// An effectively unbounded EA run keeps the process alive while we
+	// probe it; each iteration emits a RoundEvent and lands in the round
+	// histogram, so the plane has live traffic from the start.
+	cmd := exec.Command(bin, "-in", inst, "-alg", "ea", "-iters", "100000000",
+		"-ops", "127.0.0.1:0", "-ops-addr-file", addrFile,
+		"-flight-recorder", "128", "-flight-dump", flight)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + strings.TrimSpace(waitForFile(t, addrFile, 30*time.Second))
+
+	// Subscribe to the SSE stream before poking anything else so the
+	// capture overlaps the live solve.
+	sseResp, err := http.Get(base + "/events")
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	type sseResult struct {
+		data []string
+	}
+	sseCh := make(chan sseResult, 1)
+	go func() {
+		defer sseResp.Body.Close()
+		var res sseResult
+		sc := bufio.NewScanner(sseResp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			if line, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				res.data = append(res.data, line)
+			}
+		}
+		// The stream ends when the process exits and the server closes;
+		// whatever was captured by then is the artifact under test.
+		sseCh <- res
+	}()
+
+	if body := httpGetBody(t, base+"/healthz"); !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %q", body)
+	}
+
+	// /metrics must show solver progress while the run is live: the round
+	// histogram ticks once per EA iteration.
+	var samples map[string]float64
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		body := httpGetBody(t, base+"/metrics")
+		samples, err = obs.ParsePrometheus(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+		}
+		if samples["msc_round_wall_seconds_count"] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no rounds observed on live /metrics; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, name := range []string{
+		"msc_round_wall_seconds", "msc_sigma_evals_total",
+		"msc_row_cache_hit_ratio", "msc_goroutines",
+		"msc_events_subscribers", "msc_flightrecorder_events_total",
+	} {
+		if _, ok := samples[name]; !ok {
+			if _, hok := samples[name+"_count"]; !hok {
+				t.Errorf("live /metrics missing %s", name)
+			}
+		}
+	}
+	if samples["msc_events_subscribers"] != 1 {
+		t.Errorf("msc_events_subscribers = %v, want 1 (the SSE capture)", samples["msc_events_subscribers"])
+	}
+
+	// The HTTP flight-recorder dump is schema-valid JSONL with rounds.
+	counts, verr := telemetry.ValidateJSONL(strings.NewReader(httpGetBody(t, base+"/debug/flightrecorder")))
+	if verr != nil {
+		t.Fatalf("/debug/flightrecorder invalid: %v", verr)
+	}
+	if counts["round"] == 0 {
+		t.Fatal("/debug/flightrecorder holds no round events during a live run")
+	}
+
+	// SIGQUIT dumps the recorder to -flight-dump and keeps the run alive.
+	if err := cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	waitForFile(t, flight, 30*time.Second)
+	f, err := os.Open(flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, verr = telemetry.ValidateJSONL(f)
+	f.Close()
+	if verr != nil {
+		t.Fatalf("SIGQUIT flight dump invalid: %v", verr)
+	}
+	if counts["round"] == 0 {
+		t.Fatal("SIGQUIT flight dump holds no round events")
+	}
+	// Still serving after the dump: SIGQUIT must not kill the process.
+	httpGetBody(t, base+"/healthz")
+
+	// Graceful shutdown: SIGINT ends the solve with the best-so-far
+	// placement and exit 0, and the SSE capture terminates with it.
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("mscplace exited non-zero: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("mscplace did not exit after SIGINT; stderr:\n%s", stderr.String())
+	}
+	var sse sseResult
+	select {
+	case sse = <-sseCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("SSE capture did not terminate after process exit")
+	}
+	if len(sse.data) == 0 {
+		t.Fatal("SSE capture is empty")
+	}
+	// The data lines of the SSE stream are, stitched together, a
+	// schema-valid JSONL document.
+	counts, verr = telemetry.ValidateJSONL(strings.NewReader(strings.Join(sse.data, "\n") + "\n"))
+	if verr != nil {
+		t.Fatalf("SSE event stream invalid: %v", verr)
+	}
+	if counts["round"] == 0 {
+		t.Fatal("SSE stream carried no round events")
+	}
+}
+
+// TestMscplaceOpsGoldenMetricNames pins the metric-name surface: a real
+// greedy solve with the full plane up must export exactly the names in
+// docs/metrics.golden. A new metric is a deliberate act — add it to the
+// golden file in the same change.
+func TestMscplaceOpsGoldenMetricNames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	dump := filepath.Join(dir, "metrics.prom")
+	runTool(t, "mscgen", "-kind", "rgg", "-n", "50", "-m", "10", "-pt", "0.12",
+		"-k", "3", "-seed", "17", "-out", inst)
+	// -ops brings the HTTP server (and its per-server metrics) up;
+	// -metrics-dump makes the final exposition deterministic to read.
+	runTool(t, "mscplace", "-in", inst, "-alg", "greedy",
+		"-ops", "127.0.0.1:0", "-metrics-dump", dump)
+
+	f, err := os.Open(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, perr := obs.ParsePrometheus(f)
+	f.Close()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	got := obs.MetricNames(samples)
+
+	raw, err := os.ReadFile(filepath.Join("..", "docs", "metrics.golden"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var want []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			want = append(want, line)
+		}
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("metric names drifted from docs/metrics.golden\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+	// A greedy solve exercises the row cache and the incremental
+	// evaluator; their metrics must carry real traffic, not just names.
+	if samples["msc_dijkstra_runs_total"] == 0 {
+		t.Error("greedy solve recorded no Dijkstra runs")
+	}
+	if samples["msc_round_wall_seconds_count"] == 0 {
+		t.Error("greedy solve recorded no rounds")
+	}
+}
+
+// TestMscsweepHarvestMetrics: -harvest-metrics runs children with their
+// ops planes up and folds each child's final exposition into the sweep.
+func TestMscsweepHarvestMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"mscgen", "mscplace", "mscsweep"} {
+		buildTool(t, dir, tool)
+	}
+	matrix := filepath.Join(dir, "matrix.json")
+	if err := os.WriteFile(matrix, []byte(`{
+		"families": ["rgg"], "n": [40], "m": [8], "p_t": [0.12], "k": [2],
+		"solvers": ["greedy"], "seeds": [1, 2], "quick": true
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traj := filepath.Join(dir, "BENCH_harvest.json")
+	out, err := exec.Command(filepath.Join(dir, "mscsweep"),
+		"-matrix", matrix, "-tools", dir, "-out", traj, "-host", "harvest",
+		"-workers", "2", "-harvest-metrics").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mscsweep -harvest-metrics failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "metrics=") {
+		t.Fatalf("progress lines carry no harvested-metric counts:\n%s", out)
+	}
+	if !strings.Contains(string(out), "harvested") {
+		t.Fatalf("no harvest summary printed:\n%s", out)
+	}
+}

@@ -1,0 +1,189 @@
+package cli
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"msc/internal/obs"
+	"msc/internal/telemetry"
+)
+
+func TestOpsFlagsDisabledPlaneIsNil(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddOpsFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	plane, err := o.Start("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plane != nil {
+		t.Fatal("Start with no ops flags returned a live plane")
+	}
+	// Every method must be nil-safe: the commands call them unconditionally.
+	if plane.Sink() != nil {
+		t.Fatal("nil plane Sink() != nil")
+	}
+	plane.Attach(telemetry.NewRing(1))
+	plane.Recover()
+	if err := plane.Close(); err != nil {
+		t.Fatalf("nil plane Close: %v", err)
+	}
+}
+
+func TestOpsPlaneServesAndDumps(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	metricsFile := filepath.Join(dir, "metrics.prom")
+	flightFile := filepath.Join(dir, "flight.jsonl")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddOpsFlags(fs)
+	err := fs.Parse([]string{
+		"-ops", "127.0.0.1:0",
+		"-ops-addr-file", addrFile,
+		"-flight-recorder", "4",
+		"-flight-dump", flightFile,
+		"-metrics-dump", metricsFile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := o.Start("opstest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			plane.Close()
+		}
+	}()
+
+	addr, err := os.ReadFile(addrFile)
+	if err != nil {
+		t.Fatalf("-ops-addr-file not written: %v", err)
+	}
+	base := "http://" + strings.TrimSpace(string(addr))
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz via addr file: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Events route through the plane's sink into the flight recorder.
+	sink := plane.Sink()
+	if sink == nil {
+		t.Fatal("live plane Sink() == nil")
+	}
+	for i := 0; i < 6; i++ { // overruns the 4-slot ring: dump keeps newest 4
+		sink.Emit(telemetry.RoundEvent{Algorithm: "greedy_sigma", Round: i})
+	}
+	resp, err = http.Get(base + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, verr := telemetry.ValidateJSONL(resp.Body)
+	resp.Body.Close()
+	if verr != nil {
+		t.Fatalf("/debug/flightrecorder invalid: %v", verr)
+	}
+	if counts["round"] != 4 {
+		t.Fatalf("/debug/flightrecorder has %d events, want ring capacity 4", counts["round"])
+	}
+
+	if err := plane.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	closed = true
+	if err := plane.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Close wrote the -metrics-dump exposition.
+	mf, err := os.Open(metricsFile)
+	if err != nil {
+		t.Fatalf("-metrics-dump not written: %v", err)
+	}
+	samples, perr := obs.ParsePrometheus(mf)
+	mf.Close()
+	if perr != nil {
+		t.Fatalf("-metrics-dump does not parse: %v", perr)
+	}
+	if samples["msc_flightrecorder_events_total"] != 6 {
+		t.Fatalf("dumped msc_flightrecorder_events_total = %v, want 6",
+			samples["msc_flightrecorder_events_total"])
+	}
+}
+
+func TestOpsPlaneRecoverDumpsOnPanic(t *testing.T) {
+	dir := t.TempDir()
+	flightFile := filepath.Join(dir, "flight.jsonl")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddOpsFlags(fs)
+	// Metrics dump alone (no HTTP server) still brings the recorder up.
+	err := fs.Parse([]string{
+		"-metrics-dump", filepath.Join(dir, "m.prom"),
+		"-flight-dump", flightFile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := o.Start("panictest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+	plane.Sink().Emit(telemetry.RoundEvent{Algorithm: "greedy_sigma", Round: 7})
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Recover swallowed the panic")
+			}
+		}()
+		defer plane.Recover()
+		panic("shard 3 exploded")
+	}()
+
+	f, err := os.Open(flightFile)
+	if err != nil {
+		t.Fatalf("panic dump not written: %v", err)
+	}
+	counts, verr := telemetry.ValidateJSONL(f)
+	f.Close()
+	if verr != nil {
+		t.Fatalf("panic dump invalid: %v", verr)
+	}
+	if counts["round"] != 1 {
+		t.Fatalf("panic dump has %d round events, want 1", counts["round"])
+	}
+}
+
+func TestOpsPlaneRecoverNoPanicIsTransparent(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddOpsFlags(fs)
+	flight := filepath.Join(dir, "f.jsonl")
+	if err := fs.Parse([]string{"-metrics-dump", filepath.Join(dir, "m.prom"), "-flight-dump", flight}); err != nil {
+		t.Fatal(err)
+	}
+	plane, err := o.Start("calm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+	func() {
+		defer plane.Recover()
+	}()
+	if _, err := os.Stat(flight); !os.IsNotExist(err) {
+		t.Fatal("Recover dumped without a panic")
+	}
+}

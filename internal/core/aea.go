@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"msc/internal/obs"
 	"msc/internal/telemetry"
 	"msc/internal/xrand"
 )
@@ -143,6 +144,7 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 		opts.CheckpointSink.Emit(cp)
 	}
 
+	obsOn := obs.Enabled()
 	for iter := startIter; iter < opts.Iterations; iter++ {
 		// Supervision precedes the iteration's RNG draws: cancellation
 		// lands on a clean iteration boundary, the state checkpoints
@@ -152,7 +154,7 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 			break
 		}
 		var start time.Time
-		if opts.Sink != nil {
+		if opts.Sink != nil || obsOn {
 			start = time.Now()
 		}
 		parent := pop[rng.Intn(len(pop))]
@@ -164,6 +166,9 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 		stop.Rounds = iter + 1
 		if opts.RecordTrace {
 			res.Trace = append(res.Trace, best.sigma)
+		}
+		if obsOn {
+			obs.ObserveRound(time.Since(start))
 		}
 		if opts.Sink != nil {
 			// The swap's added candidate sits at the end of the child

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"msc/internal/obs"
 	"msc/internal/telemetry"
 	"msc/internal/xrand"
 )
@@ -128,6 +129,7 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 	}
 
 	flipProb := 1 / float64(numCand)
+	obsOn := obs.Enabled()
 	for iter := startIter; iter < opts.Iterations; iter++ {
 		// The supervision check precedes the iteration's RNG draws, so a
 		// canceled run stops at a clean iteration boundary — exactly the
@@ -137,7 +139,7 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 			break
 		}
 		var start time.Time
-		if opts.Sink != nil {
+		if opts.Sink != nil || obsOn {
 			start = time.Now()
 		}
 		parent := pop[rng.Intn(len(pop))]
@@ -151,6 +153,9 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 		stop.Rounds = iter + 1
 		if opts.RecordTrace {
 			res.Trace = append(res.Trace, bestFeasible.sigma)
+		}
+		if obsOn {
+			obs.ObserveRound(time.Since(start))
 		}
 		if opts.Sink != nil {
 			opts.Sink.Emit(telemetry.RoundEvent{

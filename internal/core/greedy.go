@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"msc/internal/maxcover"
+	"msc/internal/obs"
 	"msc/internal/telemetry"
 )
 
@@ -42,7 +43,19 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 		return pl
 	}
 	if cfg.sink == nil {
+		// With the ops plane enabled, the sink-less loop still feeds the
+		// metrics histograms: round wall time here, shard imbalance via the
+		// timed scans. The flag is latched once — when it is off this loop is
+		// bit for bit the PR 2 zero-allocation fast path (no clock reads).
+		obsOn := obs.Enabled()
+		if obsOn {
+			enableScanTiming(s)
+		}
 		for s.Len() < p.K() {
+			var start time.Time
+			if obsOn {
+				start = time.Now()
+			}
 			cand, gain := s.BestAdd()
 			// The supervision check sits BEFORE committing the round: a
 			// canceled scan's (possibly partial) argmax is discarded, and a
@@ -57,6 +70,9 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 			}
 			s.Add(cand)
 			stop.Rounds++
+			if obsOn {
+				obs.ObserveRound(time.Since(start))
+			}
 		}
 		return finish()
 	}
@@ -77,6 +93,7 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 		e := p.CandidateEdge(cand)
 		minNS, maxNS, shards := lastScanShards(s)
 		rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped := lastEvalStats(s)
+		obs.ObserveRound(time.Since(start))
 		cfg.sink.Emit(telemetry.RoundEvent{
 			Algorithm:      "greedy_sigma",
 			Round:          round,

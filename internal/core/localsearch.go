@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"msc/internal/obs"
 	"msc/internal/telemetry"
 )
 
@@ -49,9 +50,10 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 	cur := append([]int(nil), start...)
 	s := p.NewSearch(cur)
 	stop := StopInfo{Reason: StopEvalBudget}
+	obsOn := obs.Enabled()
 	for iter := 0; iter < maxIters; iter++ {
 		var start time.Time
-		if opts.Sink != nil {
+		if opts.Sink != nil || obsOn {
 			start = time.Now()
 		}
 		// Evaluate the full (drop, add) neighborhood: for each drop
@@ -73,6 +75,9 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 		cur = append(cur, bestAdd)
 		s = p.NewSearch(cur)
 		stop.Rounds = iter + 1
+		if obsOn {
+			obs.ObserveRound(time.Since(start))
+		}
 		if opts.Sink != nil {
 			e := p.CandidateEdge(bestAdd)
 			sigma := s.Sigma()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"msc/internal/graph"
+	"msc/internal/obs"
 	"msc/internal/shortestpath"
 	"msc/internal/telemetry"
 )
@@ -211,6 +212,7 @@ func (s *instSearch) recordScanShards(shards int) {
 		}
 	}
 	s.scanMinNS, s.scanMaxNS, s.scanShards = minNS, maxNS, shards
+	obs.ObserveScanShards(minNS, maxNS, shards)
 }
 
 // gridBounds returns the triangular-grid shard row bounds for the current
@@ -379,6 +381,7 @@ func (s *instSearch) coldScan() {
 	}
 	telemetry.Global().PairsRescanned.Add(int64(len(s.unsat)))
 	s.evPairsRescanned += int64(len(s.unsat))
+	obs.ObserveMerge(0, int64(len(s.unsat)))
 	if s.gainsBody == nil {
 		s.gainsBody = s.gainsRows // method value; built once, reused warm
 	}
@@ -604,6 +607,7 @@ func (s *instSearch) mergeAdd(cand int) {
 	g.RowsUnchanged.Add(int64(rows) - merged)
 	s.evRowsMerged += merged
 	s.evRowsUnchanged += int64(rows) - merged
+	obs.ObserveMerge(merged, 0)
 
 	// Pass 3: patch the live gains array before the merge overwrites the
 	// old row values the patch subtracts against.
@@ -716,6 +720,7 @@ func (s *instSearch) classifyPairs(fa, fb int, rowA, rowB []float64) {
 	g.PairsSkipped.Add(skipped)
 	s.evPairsRescanned += rescanned
 	s.evPairsSkipped += skipped
+	obs.ObserveMerge(0, rescanned)
 }
 
 // patchRows applies the classified delta patch to the gains segment owned

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"msc/internal/telemetry"
+)
+
+// ServerOptions configure an ops server. Only Registry is required.
+type ServerOptions struct {
+	// Registry is the metric set /metrics and /debug/vars export.
+	Registry *Registry
+	// Events, when non-nil, backs the /events Server-Sent-Events stream:
+	// each subscriber receives the live telemetry events the fanout emits.
+	Events *telemetry.FanoutSink
+	// Recorder, when non-nil, backs /debug/flightrecorder: a GET dumps the
+	// buffered events as schema-valid JSONL.
+	Recorder *telemetry.RingSink
+	// Healthz, when non-nil, is consulted by /healthz; a non-nil error
+	// turns the probe into a 503 carrying the error text. Nil means always
+	// healthy.
+	Healthz func() error
+	// EventBuffer is the per-subscriber event buffer for /events
+	// (0 = default 256). A subscriber that falls behind loses events
+	// rather than stalling the solver.
+	EventBuffer int
+}
+
+// Server is a running ops HTTP server. It serves until Close.
+type Server struct {
+	opts ServerOptions
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// expvarOnce guards the process-global expvar publication: expvar.Publish
+// panics on duplicate names, and tests start many servers.
+var expvarOnce sync.Once
+
+// StartServer binds addr (host:port; port 0 picks a free port) and serves
+// the ops endpoints on it until Close:
+//
+//	/metrics               Prometheus text exposition of opts.Registry
+//	/healthz               liveness probe
+//	/events                SSE stream of live telemetry events (JSONL data)
+//	/debug/flightrecorder  last-N-events JSONL dump
+//	/debug/pprof/*         the standard pprof handlers
+//	/debug/vars            expvar, including the registry snapshot
+//
+// Starting the server also enables metric collection (SetEnabled(true)):
+// serving a plane nobody feeds would be pointless.
+func StartServer(addr string, opts ServerOptions) (*Server, error) {
+	if opts.Registry == nil {
+		opts.Registry = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	SetEnabled(true)
+	expvarOnce.Do(func() {
+		expvar.Publish("msc_metrics", expvar.Func(func() any {
+			return defaultRegistry.Snapshot()
+		}))
+	})
+	s := &Server{opts: opts, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/flightrecorder", s.handleFlightRecorder)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+
+	if opts.Events != nil {
+		NewGaugeFuncIfAbsent(opts.Registry, "msc_events_subscribers",
+			"Live /events subscribers.",
+			func() float64 { return float64(opts.Events.Subscribers()) })
+		NewCounterFuncIfAbsent(opts.Registry, "msc_events_dropped_total",
+			"Events dropped by slow /events subscribers.",
+			func() float64 { return float64(opts.Events.Dropped()) })
+	}
+	if opts.Recorder != nil {
+		NewCounterFuncIfAbsent(opts.Registry, "msc_flightrecorder_events_total",
+			"Events ever captured by the flight recorder.",
+			func() float64 { return float64(opts.Recorder.Total()) })
+	}
+	return s, nil
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately, dropping open /events streams, and
+// waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.opts.Registry.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Healthz != nil {
+		if err := s.opts.Healthz(); err != nil {
+			http.Error(w, "unhealthy: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleEvents streams the live telemetry events as Server-Sent Events:
+// one message per event, `event:` carrying the telemetry kind and `data:`
+// the exact one-line JSONL encoding — so a captured stream's data lines
+// form a telemetry.ValidateJSONL-valid document.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Events == nil {
+		http.Error(w, "no event stream attached", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := s.opts.Events.Subscribe(s.opts.EventBuffer)
+	defer sub.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	// An initial comment line flushes headers so clients see the stream is
+	// live before the first event fires.
+	fmt.Fprintf(w, ": msc event stream\n\n")
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			line, err := telemetry.EncodeEvent(e)
+			if err != nil {
+				continue // a malformed event must not kill the stream
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.EventKind(), line)
+			fl.Flush()
+		}
+	}
+}
+
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Recorder == nil {
+		http.Error(w, "no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	_, _ = s.opts.Recorder.WriteJSONL(w)
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"msc/internal/telemetry"
+)
+
+func startTestServer(t *testing.T, opts ServerOptions) *Server {
+	t.Helper()
+	s, err := StartServer("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	s := startTestServer(t, ServerOptions{})
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "# TYPE msc_round_wall_seconds histogram") {
+		t.Fatalf("/metrics missing standard histogram:\n%.500s", body)
+	}
+	// The exposition must parse back into the registry's own snapshot names.
+	parsed, err := ParsePrometheus(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("scraped /metrics does not parse: %v", err)
+	}
+	if len(MetricNames(parsed)) < 10 {
+		t.Fatalf("scrape yielded only %d metric names", len(MetricNames(parsed)))
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	healthy := true
+	s := startTestServer(t, ServerOptions{Healthz: func() error {
+		if !healthy {
+			return fmt.Errorf("solver wedged")
+		}
+		return nil
+	}})
+	code, body := get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy probe: %d %q", code, body)
+	}
+	healthy = false
+	code, body = get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "solver wedged") {
+		t.Fatalf("unhealthy probe: %d %q", code, body)
+	}
+}
+
+func TestServerDebugVarsAndPprof(t *testing.T) {
+	s := startTestServer(t, ServerOptions{})
+	code, body := get(t, "http://"+s.Addr()+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "msc_metrics") {
+		t.Fatalf("/debug/vars: %d, msc_metrics published: %v", code, strings.Contains(body, "msc_metrics"))
+	}
+	code, body = get(t, "http://"+s.Addr()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestServerFlightRecorder(t *testing.T) {
+	ring := telemetry.NewRing(8)
+	ring.Emit(telemetry.RoundEvent{Algorithm: "greedy_sigma", Round: 0})
+	ring.Emit(telemetry.RoundEvent{Algorithm: "greedy_sigma", Round: 1})
+	s := startTestServer(t, ServerOptions{Recorder: ring})
+	code, body := get(t, "http://"+s.Addr()+"/debug/flightrecorder")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flightrecorder status %d", code)
+	}
+	counts, err := telemetry.ValidateJSONL(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("flight recorder dump invalid: %v", err)
+	}
+	if counts["round"] != 2 {
+		t.Fatalf("dump has %d round events, want 2", counts["round"])
+	}
+}
+
+func TestServerFlightRecorderAbsent(t *testing.T) {
+	s := startTestServer(t, ServerOptions{})
+	if code, _ := get(t, "http://"+s.Addr()+"/debug/flightrecorder"); code != http.StatusNotFound {
+		t.Fatalf("recorder-less /debug/flightrecorder status %d, want 404", code)
+	}
+}
+
+// TestServerEventsStream pins the /events contract end to end: events
+// emitted into the fanout arrive as SSE frames whose data lines form a
+// ValidateJSONL-valid stream, in order.
+func TestServerEventsStream(t *testing.T) {
+	fan := telemetry.NewFanout()
+	s := startTestServer(t, ServerOptions{Events: fan})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+s.Addr()+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	r := bufio.NewReader(resp.Body)
+	// The server flushes an initial comment so clients know the stream is
+	// live; wait for it before emitting, or the emit may race Subscribe.
+	first, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(first, ":") {
+		t.Fatalf("expected initial SSE comment, got %q, %v", first, err)
+	}
+
+	const events = 5
+	go func() {
+		for i := 0; i < events; i++ {
+			fan.Emit(telemetry.RoundEvent{Algorithm: "greedy_sigma", Round: i, Sigma: 10 + i})
+		}
+	}()
+
+	var jsonl bytes.Buffer
+	kinds := 0
+	for kinds < events {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended early after %d events: %v", kinds, err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			if got := strings.TrimPrefix(line, "event: "); got != "round" {
+				t.Fatalf("event kind %q, want round", got)
+			}
+		case strings.HasPrefix(line, "data: "):
+			jsonl.WriteString(strings.TrimPrefix(line, "data: "))
+			jsonl.WriteByte('\n')
+			kinds++
+		}
+	}
+	counts, err := telemetry.ValidateJSONL(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatalf("captured /events data is not schema-valid JSONL: %v", err)
+	}
+	if counts["round"] != events {
+		t.Fatalf("captured %d round events, want %d", counts["round"], events)
+	}
+	if got := fan.Subscribers(); got != 1 {
+		t.Fatalf("Subscribers() = %d mid-stream, want 1", got)
+	}
+	cancel()
+	// Subscriber detaches once the handler notices the closed connection.
+	deadline := time.Now().Add(5 * time.Second)
+	for fan.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never detached after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerEventsAbsent(t *testing.T) {
+	s := startTestServer(t, ServerOptions{})
+	if code, _ := get(t, "http://"+s.Addr()+"/events"); code != http.StatusNotFound {
+		t.Fatalf("fanout-less /events status %d, want 404", code)
+	}
+}
+
+func TestServerPortZeroAndClose(t *testing.T) {
+	s, err := StartServer("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if !strings.HasPrefix(addr, "127.0.0.1:") || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("Addr() = %q, want a resolved port", addr)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

@@ -3,8 +3,10 @@ package shortestpath
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"msc/internal/graph"
+	"msc/internal/obs"
 	"msc/internal/telemetry"
 )
 
@@ -179,7 +181,13 @@ func (t *LazyTable) Row(u graph.NodeID) []float64 {
 	e.once.Do(func() {
 		t.computes.Add(1)
 		telemetry.Global().RowCacheComputes.Add(1)
-		e.dist = Dijkstra(t.g, u)
+		if obs.Enabled() {
+			start := time.Now()
+			e.dist = Dijkstra(t.g, u)
+			obs.ObserveRowCompute(time.Since(start))
+		} else {
+			e.dist = Dijkstra(t.g, u)
+		}
 	})
 	return e.dist
 }

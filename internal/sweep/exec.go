@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"msc/internal/obs"
 	"msc/internal/telemetry"
 )
 
@@ -69,9 +70,17 @@ type ProcessRunner struct {
 	// KillDelay is the grace between SIGINT and SIGKILL for a child that
 	// ignores the graceful stop (default 10s).
 	KillDelay time.Duration
+	// Ops, when true, runs every place/bench child with its ops plane up
+	// (-ops 127.0.0.1:0, so children never fight over a port) and a
+	// deterministic -metrics-dump file the runner harvests after the child
+	// exits — no scrape race against process teardown. Harvested samples
+	// surface through TakeMetrics (see MetricsHarvester); the raw
+	// exposition files stay in WorkDir beside the JSONL records.
+	Ops bool
 
 	mu        sync.Mutex
 	instances map[string]*instanceEntry
+	metrics   map[string]map[string]float64
 }
 
 type instanceEntry struct {
@@ -147,6 +156,7 @@ func (p *ProcessRunner) runPlace(ctx context.Context, sc Scenario) (telemetry.Ru
 		"-eval", sc.EvalMode,
 		"-jsonl", jsonl,
 	}
+	args = p.opsArgs(args, sc)
 	if p.Iters > 0 {
 		args = append(args, "-iters", strconv.Itoa(p.Iters))
 	}
@@ -160,6 +170,9 @@ func (p *ProcessRunner) runPlace(ctx context.Context, sc Scenario) (telemetry.Ru
 	rec, err := p.ingest(jsonl, func(r telemetry.RunRecord) bool { return r.Name == sc.Solver })
 	if err != nil {
 		return telemetry.RunRecord{}, &RunError{Scenario: sc, Stage: "ingest", Err: err}
+	}
+	if err := p.harvestMetrics(sc); err != nil {
+		return telemetry.RunRecord{}, &RunError{Scenario: sc, Stage: "harvest", Err: err}
 	}
 	return rec, nil
 }
@@ -180,6 +193,7 @@ func (p *ProcessRunner) runBench(ctx context.Context, sc Scenario) (telemetry.Ru
 	if sc.Quick {
 		args = append(args, "-quick")
 	}
+	args = p.opsArgs(args, sc)
 	out, err := p.exec(ctx, p.Mscbench, args, p.execTimeout())
 	if err != nil {
 		return telemetry.RunRecord{}, &RunError{Scenario: sc, Stage: "exec", Output: tail(out), Err: err}
@@ -190,6 +204,9 @@ func (p *ProcessRunner) runBench(ctx context.Context, sc Scenario) (telemetry.Ru
 	if err != nil {
 		return telemetry.RunRecord{}, &RunError{Scenario: sc, Stage: "ingest", Err: err}
 	}
+	if err := p.harvestMetrics(sc); err != nil {
+		return telemetry.RunRecord{}, &RunError{Scenario: sc, Stage: "harvest", Err: err}
+	}
 	return rec, nil
 }
 
@@ -198,6 +215,64 @@ func (p *ProcessRunner) runBench(ctx context.Context, sc Scenario) (telemetry.Ru
 func (p *ProcessRunner) recordPath(sc Scenario) string {
 	key := strings.NewReplacer("/", "_", ".", "_").Replace(sc.Key())
 	return filepath.Join(p.WorkDir, fmt.Sprintf("run-%s-seed%d.jsonl", key, sc.Seed))
+}
+
+// metricsPath names the per-run ops-metrics dump beside the JSONL record.
+func (p *ProcessRunner) metricsPath(sc Scenario) string {
+	key := strings.NewReplacer("/", "_", ".", "_").Replace(sc.Key())
+	return filepath.Join(p.WorkDir, fmt.Sprintf("metrics-%s-seed%d.prom", key, sc.Seed))
+}
+
+// opsArgs appends the child's ops-plane flags when harvesting is on.
+func (p *ProcessRunner) opsArgs(args []string, sc Scenario) []string {
+	if !p.Ops {
+		return args
+	}
+	return append(args,
+		"-ops", "127.0.0.1:0",
+		"-metrics-dump", p.metricsPath(sc),
+	)
+}
+
+// harvestMetrics parses a finished child's -metrics-dump exposition into
+// the runner's buffer, keyed for TakeMetrics. No-op when Ops is off.
+func (p *ProcessRunner) harvestMetrics(sc Scenario) error {
+	if !p.Ops {
+		return nil
+	}
+	path := p.metricsPath(sc)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("ops metrics dump: %w", err)
+	}
+	defer f.Close()
+	samples, err := obs.ParsePrometheus(f)
+	if err != nil {
+		return fmt.Errorf("ops metrics dump %s: %w", path, err)
+	}
+	p.mu.Lock()
+	if p.metrics == nil {
+		p.metrics = make(map[string]map[string]float64)
+	}
+	p.metrics[p.metricsKey(sc)] = samples
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *ProcessRunner) metricsKey(sc Scenario) string {
+	return fmt.Sprintf("%s|%d", sc.Key(), sc.Seed)
+}
+
+// TakeMetrics implements MetricsHarvester: it removes and returns the
+// harvested samples for sc, or nil when the scenario has none (harvesting
+// off, run failed, or already taken).
+func (p *ProcessRunner) TakeMetrics(sc Scenario) map[string]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := p.metricsKey(sc)
+	samples := p.metrics[key]
+	delete(p.metrics, key)
+	return samples
 }
 
 // ingest validates the whole JSONL stream and returns the single run

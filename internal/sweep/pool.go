@@ -22,6 +22,19 @@ type Result struct {
 	Scenario Scenario
 	Record   telemetry.RunRecord
 	Err      error
+	// Metrics holds the run's harvested ops metrics (flat Prometheus
+	// sample name → value), when the Runner implements MetricsHarvester
+	// and harvesting is on; nil otherwise.
+	Metrics map[string]float64
+}
+
+// MetricsHarvester is the optional Runner extension for ops-metric
+// harvesting: after a successful Run, RunAll calls TakeMetrics with the
+// same scenario and attaches whatever it returns (nil when the run
+// produced no metrics) to the Result. Take semantics — a second call for
+// the same scenario returns nil — keep the runner's buffer bounded.
+type MetricsHarvester interface {
+	TakeMetrics(sc Scenario) map[string]float64
 }
 
 // RunAll fans scenarios across a bounded pool of workers goroutines, each
@@ -60,6 +73,9 @@ func RunAll(ctx context.Context, r Runner, scenarios []Scenario, workers int, pr
 					res.Err = fmt.Errorf("sweep: run %s seed %d not started: %w", sc.Key(), sc.Seed, err)
 				} else {
 					res.Record, res.Err = r.Run(ctx, sc)
+					if h, ok := r.(MetricsHarvester); ok && res.Err == nil {
+						res.Metrics = h.TakeMetrics(sc)
+					}
 				}
 				results[i] = res
 				if progress != nil {

@@ -169,6 +169,11 @@ type RunRecord struct {
 	MaxSigma int `json:"max_sigma"`
 	// WallMS is the run's wall-clock time in milliseconds.
 	WallMS float64 `json:"wall_ms"`
+	// ShardImbalance is the mean relative per-shard wall-time imbalance
+	// (max−min)/max over the run's timed candidate scans: 0 = perfectly
+	// balanced shards (and for runs without timed scans — EA/AEA rounds
+	// evaluate whole selections and never shard a candidate scan).
+	ShardImbalance float64 `json:"shard_imbalance"`
 	// Counters is the work performed by the run (snapshot difference of
 	// the global counters).
 	Counters CounterSnapshot `json:"counters"`

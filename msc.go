@@ -373,6 +373,11 @@ type (
 	TelemetryEvent = telemetry.Event
 	// JSONLSink serializes events as one JSON object per line.
 	JSONLSink = telemetry.JSONLSink
+	// FanoutSink multiplexes one event stream to attached sinks and live
+	// channel subscribers (the ops server's /events stream).
+	FanoutSink = telemetry.FanoutSink
+	// RingSink keeps the last N events for flight-recorder dumps.
+	RingSink = telemetry.RingSink
 	// RoundEvent traces one committed solver round.
 	RoundEvent = telemetry.RoundEvent
 	// SandwichEvent summarizes the three sandwich arms and the bound.
@@ -389,6 +394,13 @@ type (
 // Emit is safe for concurrent use and the first write error is sticky
 // (check Err after the run).
 func NewJSONLSink(w io.Writer) *JSONLSink { return telemetry.NewJSONL(w) }
+
+// NewFanoutSink returns an empty event fanout; attach sinks and subscribe
+// live consumers, then pass it wherever a TelemetrySink goes.
+func NewFanoutSink() *FanoutSink { return telemetry.NewFanout() }
+
+// NewRingSink returns a flight-recorder ring holding the last n events.
+func NewRingSink(n int) *RingSink { return telemetry.NewRing(n) }
 
 // WithSink attaches a telemetry sink to a solver entry point; per-round
 // trace events stream to it. Placements are byte-identical with and
