@@ -84,6 +84,7 @@ func run(ctx context.Context) (retErr error) {
 		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (results are identical either way)")
 		distB    = cli.AddDistBackendFlag(flag.CommandLine)
 		evalM    = cli.AddEvalModeFlag(flag.CommandLine)
+		survM    = cli.AddSurviveFlag(flag.CommandLine)
 		jsonl    = flag.String("jsonl", "", "write machine-readable run records as JSON lines to this file")
 		validate = flag.String("validate", "", "validate a JSONL run-record file against the telemetry schema and exit")
 		version  = flag.Bool("version", false, "print version and exit")
@@ -109,6 +110,11 @@ func run(ctx context.Context) (retErr error) {
 		return err
 	}
 	core.SetDefaultEvalMode(evalMode)
+	survive, err := core.ParseSurvivability(*survM)
+	if err != nil {
+		return err
+	}
+	core.SetDefaultSurvivability(survive)
 
 	ids, err := resolveIDs(*exp)
 	if err != nil {
@@ -177,8 +183,10 @@ func run(ctx context.Context) (retErr error) {
 				Workers:     *par,
 				DistBackend: *distB,
 				EvalMode:    *evalM,
+				Survive:     *survM,
 				Quick:       *quick,
 				Sigma:       -1,
+				SigmaWorst:  -1,
 				WallMS:      float64(elapsed.Nanoseconds()) / 1e6,
 				Counters:    telemetry.Global().Snapshot().Sub(before),
 			})

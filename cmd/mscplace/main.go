@@ -42,6 +42,11 @@ type output struct {
 	// RatioBound is the sandwich algorithm's data-dependent guarantee
 	// factor σ(F_σ)/ν(F_σ)·(1−1/e); zero for other algorithms.
 	RatioBound float64 `json:"ratio_bound,omitempty"`
+	// Survive and SigmaWorst report the survivability mode and the
+	// worst-case σ⁻ over its single-failure scenarios; omitted under the
+	// fault-free objective.
+	Survive    string `json:"survive,omitempty"`
+	SigmaWorst *int   `json:"sigma_worst,omitempty"`
 }
 
 func run(ctx context.Context) (retErr error) {
@@ -58,6 +63,7 @@ func run(ctx context.Context) (retErr error) {
 		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (placements are identical either way)")
 		distB    = cli.AddDistBackendFlag(flag.CommandLine)
 		evalM    = cli.AddEvalModeFlag(flag.CommandLine)
+		survM    = cli.AddSurviveFlag(flag.CommandLine)
 		jsonl    = flag.String("jsonl", "", "write per-round telemetry events and a run record as JSON lines to this file")
 		deadline = flag.Duration("deadline", 0, "wall-clock budget for the solver; on expiry the best-so-far placement is emitted (0 = none)")
 		ckpt     = flag.String("checkpoint", "", "write resumable run snapshots as JSON lines to this file (ea, aea)")
@@ -78,6 +84,10 @@ func run(ctx context.Context) (retErr error) {
 		return err
 	}
 	evalMode, err := msc.ParseEvalMode(*evalM)
+	if err != nil {
+		return err
+	}
+	survive, err := msc.ParseSurvivability(*survM)
 	if err != nil {
 		return err
 	}
@@ -163,10 +173,15 @@ func run(ctx context.Context) (retErr error) {
 		return fmt.Errorf("no threshold: set one in the instance or pass -pt")
 	}
 	inst, err := msc.NewInstance(g, ps, msc.NewThreshold(threshold), budget,
-		&msc.InstanceOptions{AllowTrivial: true, DistBackend: backend, EvalMode: evalMode, Parallelism: *par})
+		&msc.InstanceOptions{AllowTrivial: true, DistBackend: backend, EvalMode: evalMode,
+			Parallelism: *par, Survive: survive})
 	if err != nil {
 		return err
 	}
+	// Under a survivability mode placements carry a second figure of merit:
+	// the worst-case σ⁻ over the instance's single-failure scenarios.
+	survivable := inst.Survive() != msc.SurviveNone
+	sigmaWorst := func(sel []int) int { return inst.SigmaWorst(sel) }
 	rng := msc.NewRand(*seed)
 
 	// A typed-nil sink must never reach an interface-typed option (it
@@ -210,12 +225,10 @@ func run(ctx context.Context) (retErr error) {
 		aeaOpts.Resume = cp
 	}
 	if *ckpt != "" {
-		cf, err := os.Create(*ckpt)
-		if err != nil {
-			return err
-		}
-		defer cf.Close()
-		ckptSink := msc.NewJSONLSink(cf)
+		// Checkpoints write crash-safely: each snapshot atomically replaces
+		// the file, so a kill mid-write can never tear the stream a later
+		// -resume depends on.
+		ckptSink := msc.NewAtomicJSONLSink(*ckpt)
 		defer func() {
 			if err := ckptSink.Err(); err != nil && retErr == nil {
 				retErr = fmt.Errorf("checkpoint: %w", err)
@@ -264,12 +277,23 @@ func run(ctx context.Context) (retErr error) {
 
 	if *refine {
 		refined := msc.LocalSearch(inst, pl.Selection, lsOpts)
-		if refined.Sigma > pl.Sigma {
+		// Survivable placements compare lexicographically by (σ⁻, σ): a swap
+		// that hardens the worst failure scenario wins even at equal σ.
+		improved := refined.Sigma > pl.Sigma
+		if survivable {
+			w := inst.MaxSigma() + 1
+			improved = sigmaWorst(refined.Selection)*w+refined.Sigma > sigmaWorst(pl.Selection)*w+pl.Sigma
+		}
+		if improved {
 			fmt.Printf("refinement: σ %d -> %d\n", pl.Sigma, refined.Sigma)
 			pl = refined
 		}
 	}
 
+	declaredWorst := -1
+	if survivable {
+		declaredWorst = sigmaWorst(pl.Selection)
+	}
 	if sink != nil {
 		sink.Emit(msc.RunRecord{
 			ShardImbalance: obs.ShardImbalance.Snapshot().Sub(imbBefore).Mean(),
@@ -279,6 +303,7 @@ func run(ctx context.Context) (retErr error) {
 			Workers:        *par,
 			DistBackend:    *distB,
 			EvalMode:       *evalM,
+			Survive:        string(inst.Survive()),
 			N:              inst.N(),
 			Pairs:          ps.Len(),
 			Candidates:     inst.NumCandidates(),
@@ -286,6 +311,7 @@ func run(ctx context.Context) (retErr error) {
 			Pt:             threshold,
 			Sigma:          pl.Sigma,
 			MaxSigma:       inst.MaxSigma(),
+			SigmaWorst:     declaredWorst,
 			WallMS:         float64(time.Since(start).Nanoseconds()) / 1e6,
 			Counters:       msc.CountersSnapshot().Sub(before),
 			StopReason:     string(pl.Stop.Reason),
@@ -309,6 +335,10 @@ func run(ctx context.Context) (retErr error) {
 			pl.Stop.Reason, pl.Stop.Rounds)
 	}
 	fmt.Printf("maintained: %d / %d pairs (p_t=%.3g, k=%d)\n", pl.Sigma, ps.Len(), threshold, budget)
+	if survivable {
+		fmt.Printf("worst-case: %d / %d pairs through any single %s failure\n",
+			declaredWorst, ps.Len(), inst.Survive())
+	}
 	if ratio > 0 {
 		fmt.Printf("guarantee:  ≥ %.3f × optimal\n", ratio)
 	}
@@ -328,6 +358,10 @@ func run(ctx context.Context) (retErr error) {
 			Sigma:      pl.Sigma,
 			TotalPairs: ps.Len(),
 			RatioBound: ratio,
+		}
+		if survivable {
+			res.Survive = string(inst.Survive())
+			res.SigmaWorst = &declaredWorst
 		}
 		for _, e := range pl.Edges {
 			res.Shortcuts = append(res.Shortcuts, [2]int32{e.U, e.V})

@@ -51,6 +51,7 @@ func run(ctx context.Context) error {
 		baseline    = flag.String("baseline", "", "diff the new trajectory against this baseline file and fail on regression")
 		deadline    = flag.Duration("deadline", 2*time.Minute, "per-run wall-clock budget (0 = unbounded)")
 		iters       = flag.Int("iters", 200, "iterations for ea/aea/random solvers")
+		retries     = flag.Int("retries", 2, "max retries per run for transient child failures (signal-killed or unstartable children, torn record streams); solver errors never retry")
 		wallPct     = flag.Float64("wall-threshold", 30, "wall-clock regression threshold in percent (0 disables wall gating — use for cross-host diffs)")
 		counterPct  = flag.Float64("counter-threshold", 1, "deterministic-counter and σ regression threshold in percent")
 		harvest     = flag.Bool("harvest-metrics", false, "run every child with its ops plane up (-ops 127.0.0.1:0) and harvest its /metrics exposition into the sweep results")
@@ -132,23 +133,30 @@ func run(ctx context.Context) error {
 		defer os.RemoveAll(tmp)
 	}
 
-	runner := &sweep.ProcessRunner{
+	procRunner := &sweep.ProcessRunner{
 		WorkDir:  workDir,
 		Deadline: *deadline,
 		Iters:    *iters,
 		Ops:      *harvest,
 	}
 	needBench := len(matrix.Experiments) > 0
-	if runner.Mscgen, err = findTool(*tools, "mscgen"); err != nil {
+	if procRunner.Mscgen, err = findTool(*tools, "mscgen"); err != nil {
 		return err
 	}
-	if runner.Mscplace, err = findTool(*tools, "mscplace"); err != nil {
+	if procRunner.Mscplace, err = findTool(*tools, "mscplace"); err != nil {
 		return err
 	}
 	if needBench {
-		if runner.Mscbench, err = findTool(*tools, "mscbench"); err != nil {
+		if procRunner.Mscbench, err = findTool(*tools, "mscbench"); err != nil {
 			return err
 		}
+	}
+	// Transient infra failures (an OOM-killed child, a torn record file)
+	// retry with backoff instead of scrapping the sweep; deterministic
+	// solver errors still fail on the first attempt.
+	var runner sweep.Runner = procRunner
+	if *retries > 0 {
+		runner = &sweep.Retrier{Runner: procRunner, Max: *retries}
 	}
 
 	poolSize := *workers
@@ -174,14 +182,19 @@ func run(ctx context.Context) error {
 		if res.Metrics != nil {
 			extra = fmt.Sprintf(" metrics=%d", len(res.Metrics))
 		}
+		if res.Retries > 0 {
+			extra += fmt.Sprintf(" retries=%d", res.Retries)
+		}
 		fmt.Printf("  [%d/%d] %s seed=%d %s (%.0f ms)%s\n", done, len(scenarios),
 			res.Scenario.Key(), res.Scenario.Seed, status, res.Record.WallMS, extra)
 	})
 	var failures []error
+	retried := 0
 	for _, res := range results {
 		if res.Err != nil {
 			failures = append(failures, res.Err)
 		}
+		retried += res.Retries
 	}
 	if len(failures) > 0 {
 		for _, err := range failures {
@@ -199,6 +212,11 @@ func run(ctx context.Context) error {
 	}
 	fmt.Printf("sweep: %d runs -> %d scenarios -> %s in %v\n",
 		len(results), len(traj.Scenarios), out, time.Since(start).Round(time.Millisecond))
+	if retried > 0 {
+		// A sweep that only passes on retry is a flaky fleet; keep that
+		// visible in the summary even though the runs succeeded.
+		fmt.Printf("sweep: %d transient child failure(s) recovered by retry\n", retried)
+	}
 	if *harvest {
 		var rounds, samples float64
 		for _, res := range results {

@@ -94,6 +94,15 @@ func AddEvalModeFlag(fs *flag.FlagSet) *string {
 		"search evaluation mode: auto|incremental|rebuild (incremental = O(n) row merges and delta gains rescans on Add; rebuild = full recompute reference path; placements are identical either way)")
 }
 
+// AddSurviveFlag registers the -survive flag shared by the solver-facing
+// commands and returns the pointer receiving its value after fs.Parse.
+// Values stay plain strings here and are validated by the command via
+// msc.ParseSurvivability / core.ParseSurvivability.
+func AddSurviveFlag(fs *flag.FlagSet) *string {
+	return fs.String("survive", "auto",
+		"survivability mode: auto|none|shortcut|node (shortcut/node optimize the worst-case σ⁻ over all single shortcut or node failures, breaking ties by fault-free σ)")
+}
+
 // Profile carries the three profiling flag values registered by
 // AddProfileFlags. The zero value (no flags set) is a no-op profile.
 type Profile struct {

@@ -14,6 +14,12 @@ import (
 // through the counted xrand stream and mutate no other cross-iteration
 // state, so restore-and-continue replays the straight-through run bit for
 // bit (locked by checkpoint_test.go).
+//
+// Durability is the sink's job: point CheckpointSink at a
+// telemetry.AtomicJSONLSink (mscplace -checkpoint does) so a crash
+// mid-snapshot can never tear the stream — the file on disk is always the
+// previous or the new complete snapshot sequence, and LastCheckpoint
+// never sees a partial line.
 
 // snapshotSolution converts an internal solution to its checkpoint form.
 func snapshotSolution(sel []int, sigma int) telemetry.CheckpointSolution {

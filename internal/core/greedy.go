@@ -94,12 +94,14 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 		minNS, maxNS, shards := lastScanShards(s)
 		rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped := lastEvalStats(s)
 		obs.ObserveRound(time.Since(start))
+		sigma, sigmaWorst := sigmaParts(s)
 		cfg.sink.Emit(telemetry.RoundEvent{
 			Algorithm:      "greedy_sigma",
 			Round:          round,
 			Shortcut:       &[2]int32{int32(e.U), int32(e.V)},
 			Gain:           gain,
-			Sigma:          s.Sigma(),
+			Sigma:          sigma,
+			SigmaWorst:     sigmaWorst,
 			Selected:       len(sel),
 			Candidates:     p.NumCandidates(),
 			Mu:             p.Mu(sel),

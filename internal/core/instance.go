@@ -138,6 +138,17 @@ type Instance struct {
 	// evalMode is the resolved Options.EvalMode governing searches.
 	evalMode EvalMode
 
+	// survive is the resolved Options.Survive failure model; SurviveNone
+	// keeps the paper's fault-free objective (survive.go).
+	survive Survivability
+
+	// Lazily-built per-node failure scenario instances (SurviveNode):
+	// nodeInsts[v] is this instance on G−v, nodeVac[v] the constant weight
+	// of pairs incident to v. Guarded like the other lazy structures.
+	nodeOnce  sync.Once
+	nodeInsts []*Instance
+	nodeVac   []int
+
 	// weights[i] is pair i's importance level (all 1 when unweighted);
 	// totalWeight = Σ weights = MaxSigma.
 	weights     []int32
@@ -199,6 +210,13 @@ type Options struct {
 	// Placements, σ values, and gains arrays are identical across modes;
 	// the zero value resolves via SetDefaultEvalMode.
 	EvalMode EvalMode
+	// Survive selects the failure model the objective must survive:
+	// SurviveNone (the paper's fault-free σ), SurviveShortcut, or
+	// SurviveNode (survive.go). Under a non-none mode NewSearch returns the
+	// worst-case survivable evaluator and the solvers optimize (σ⁻, σ)
+	// lexicographically; the zero value resolves via
+	// SetDefaultSurvivability.
+	Survive Survivability
 	// ExcludePairEndpoints removes the important-pair nodes from the
 	// candidate shortcut universe, so shortcuts may only land on relay
 	// nodes. Under the unrestricted universe greedy-σ trivially gains one
@@ -248,6 +266,16 @@ func NewInstance(g *graph.Graph, ps *pairs.Set, thr failprob.Threshold, k int, o
 		inst.evalMode = em
 	default:
 		return nil, fmt.Errorf("core: unknown eval mode %q (want auto, incremental, or rebuild)", em)
+	}
+	var survOpt Survivability
+	if opts != nil {
+		survOpt = opts.Survive
+	}
+	switch sv := resolveSurvivability(survOpt); sv {
+	case SurviveNone, SurviveShortcut, SurviveNode:
+		inst.survive = sv
+	default:
+		return nil, fmt.Errorf("core: unknown survivability mode %q (want auto, none, shortcut, or node)", sv)
 	}
 	if opts != nil && opts.ExcludePairEndpoints {
 		isPairNode := make(map[graph.NodeID]bool, 2*ps.Len())

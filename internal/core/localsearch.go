@@ -80,13 +80,14 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 		}
 		if opts.Sink != nil {
 			e := p.CandidateEdge(bestAdd)
-			sigma := s.Sigma()
+			sigma, sigmaWorst := sigmaParts(s)
 			opts.Sink.Emit(telemetry.RoundEvent{
 				Algorithm:  "local_search",
 				Round:      iter,
 				Shortcut:   &[2]int32{int32(e.U), int32(e.V)},
-				Gain:       sigma - prevSigma,
+				Gain:       s.Sigma() - prevSigma,
 				Sigma:      sigma,
+				SigmaWorst: sigmaWorst,
 				Selected:   len(cur),
 				Candidates: p.NumCandidates(),
 				Mu:         p.Mu(cur),

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"msc/internal/xrand"
+)
+
+// TestRemoveAtRebuildBitIdentical is the regression the survivable failure
+// evaluator leans on: RemoveAt always takes the rebuild path (a deletion
+// can lengthen distances, and min-merges cannot undo a min), and the state
+// it leaves — distance rows, pair distances, σ, and the next gains scan —
+// must be bit-identical to a search built cold on the reduced selection,
+// under both eval modes and after incremental (merge-path) adds.
+func TestRemoveAtRebuildBitIdentical(t *testing.T) {
+	for _, mode := range []EvalMode{EvalIncremental, EvalRebuild} {
+		rng := xrand.New(5150)
+		for trial := 0; trial < 8; trial++ {
+			inst := testInstance(t, 16, 7, 6, 0.9, rng)
+			warm, ok := inst.NewSearch(nil).(*instSearch)
+			if !ok {
+				t.Fatalf("mode=%s: NewSearch returned %T", mode, warm)
+			}
+			warm.incremental = mode == EvalIncremental
+			// Grow through the mode's Add path, with warm gains state live so
+			// removal must invalidate a patched array, not a cold one.
+			adds := rng.SampleDistinct(inst.NumCandidates(), 4)
+			for _, c := range adds {
+				warm.GainsAdd()
+				warm.Add(c)
+			}
+			pos := rng.Intn(len(adds))
+			warm.RemoveAt(pos)
+
+			cold, _ := inst.NewSearch(warm.sel).(*instSearch)
+			if warm.sigma != cold.sigma {
+				t.Fatalf("mode=%s trial=%d: σ after RemoveAt %d != cold %d", mode, trial, warm.sigma, cold.sigma)
+			}
+			for r := range warm.rows {
+				for x := range warm.rows[r] {
+					if warm.rows[r][x] != cold.rows[r][x] {
+						t.Fatalf("mode=%s trial=%d: row %d col %d: %v != cold %v",
+							mode, trial, r, x, warm.rows[r][x], cold.rows[r][x])
+					}
+				}
+			}
+			for i := range warm.pairDist {
+				if warm.pairDist[i] != cold.pairDist[i] {
+					t.Fatalf("mode=%s trial=%d: pairDist[%d] %v != cold %v",
+						mode, trial, i, warm.pairDist[i], cold.pairDist[i])
+				}
+			}
+			if warm.gainsValid {
+				t.Fatalf("mode=%s trial=%d: RemoveAt left gainsValid set", mode, trial)
+			}
+			wg := append([]int(nil), warm.GainsAdd()...)
+			cg := cold.GainsAdd()
+			for c := range wg {
+				if wg[c] != cg[c] {
+					t.Fatalf("mode=%s trial=%d: post-remove gains[%d] = %d, cold %d",
+						mode, trial, c, wg[c], cg[c])
+				}
+			}
+		}
+	}
+}

@@ -49,15 +49,27 @@ func Sandwich(p Problem, opts ...Option) SandwichResult {
 		FSigma: GreedySigma(p, armOpts...),
 		FNu:    GreedyNu(p),
 	}
-	res.Best = res.FMu
-	best := "mu"
-	if res.FSigma.Sigma > res.Best.Sigma {
-		res.Best = res.FSigma
-		best = "sigma"
+	// Under a survivability mode the winner is picked lexicographically by
+	// (σ⁻, σ): an arm that keeps more pairs through the worst single
+	// failure beats one that only looks better fault-free. armValue is
+	// plain σ on fault-free problems, so the pick is unchanged there.
+	wp, survivable := p.(WorstCaseProblem)
+	if survivable && wp.Survive() == SurviveNone {
+		survivable = false
 	}
-	if res.FNu.Sigma > res.Best.Sigma {
-		res.Best = res.FNu
-		best = "nu"
+	armValue := func(pl Placement) int {
+		if survivable {
+			return wp.SigmaWorst(pl.Selection)*(p.MaxSigma()+1) + pl.Sigma
+		}
+		return pl.Sigma
+	}
+	res.Best = res.FMu
+	best, bestVal := "mu", armValue(res.FMu)
+	if v := armValue(res.FSigma); v > bestVal {
+		res.Best, best, bestVal = res.FSigma, "sigma", v
+	}
+	if v := armValue(res.FNu); v > bestVal {
+		res.Best, best, bestVal = res.FNu, "nu", v
 	}
 	res.NuAtFSigma = p.Nu(res.FSigma.Selection)
 	if res.NuAtFSigma > 0 {
@@ -75,12 +87,18 @@ func Sandwich(p Problem, opts ...Option) SandwichResult {
 		Sigma:  res.Best.Sigma,
 	}
 	if cfg.sink != nil {
+		var bestWorst *int
+		if survivable {
+			w := wp.SigmaWorst(res.Best.Selection)
+			bestWorst = &w
+		}
 		cfg.sink.Emit(telemetry.SandwichEvent{
 			SigmaMu:      res.FMu.Sigma,
 			SigmaSigma:   res.FSigma.Sigma,
 			SigmaNu:      res.FNu.Sigma,
 			Best:         best,
 			Sigma:        res.Best.Sigma,
+			SigmaWorst:   bestWorst,
 			Ratio:        res.Ratio,
 			ApproxFactor: res.ApproxFactor,
 			NuAtFSigma:   res.NuAtFSigma,

@@ -123,8 +123,30 @@ var (
 	_ EvalStats      = (*instSearch)(nil)
 )
 
-// NewSearch returns an incremental evaluator positioned at sel (copied).
+// NewSearch returns an evaluator positioned at sel (copied): the plain
+// incremental σ search, or — when the instance carries a survivability
+// mode — the worst-case survivable search, which wraps one plain search
+// per failure scenario and speaks the lexicographic value L (survive.go).
 func (inst *Instance) NewSearch(sel []int) Search {
+	if inst.survive != SurviveNone {
+		return newSurviveSearch(inst, sel)
+	}
+	return inst.newInstSearch(sel)
+}
+
+// newInstSearch returns the plain incremental evaluator positioned at sel
+// (copied), bypassing the survivability dispatch — the survivable search
+// uses it to build its per-scenario sub-searches on the same instance.
+func (inst *Instance) newInstSearch(sel []int) *instSearch {
+	s := inst.newSearchState(sel)
+	s.rebuild()
+	return s
+}
+
+// newSearchState allocates an instSearch positioned at sel with every
+// scratch buffer sized, but with the distance rows still unset: callers
+// either rebuild() (cold start) or copy rows from a sibling (clone).
+func (inst *Instance) newSearchState(sel []int) *instSearch {
 	s := &instSearch{
 		inst:        inst,
 		sel:         append([]int(nil), sel...),
@@ -159,8 +181,30 @@ func (inst *Instance) NewSearch(sel []int) Search {
 		s.deltaPairs = make([]int32, 0, m)
 		s.deltaOff = make([]int32, 0, m+1)
 	}
-	s.rebuild()
 	return s
+}
+
+// clone returns an independent search positioned at the same selection:
+// the distance rows, pair distances, σ, and — when live — the gains array
+// are copied, so the clone needs no shortest-path work at all. The
+// survivable search uses this to snapshot the pre-commit state as the
+// failure scenario of the shortcut being committed.
+func (s *instSearch) clone() *instSearch {
+	c := s.inst.newSearchState(s.sel)
+	c.workers = s.workers
+	c.ctx = s.ctx
+	for i := range s.rows {
+		copy(c.rows[i], s.rows[i])
+	}
+	copy(c.pairDist, s.pairDist)
+	c.sigma = s.sigma
+	if s.gainsValid {
+		c.gains = make([]int, len(s.gains))
+		copy(c.gains, s.gains)
+		copy(c.inGains, s.inGains)
+		c.gainsValid = true
+	}
+	return c
 }
 
 // SetWorkers fixes the shard count for subsequent scans; 1 means fully

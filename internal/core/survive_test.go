@@ -1,0 +1,377 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+	"msc/internal/shortestpath"
+	"msc/internal/submodular"
+	"msc/internal/telemetry"
+	"msc/internal/xrand"
+)
+
+// surviveInstance builds a random survivable instance on a connected
+// random graph.
+func surviveInstance(t *testing.T, n, m, k int, dt float64, mode Survivability, rng *xrand.Rand) *Instance {
+	t.Helper()
+	g := randomConnectedGraph(t, n, 2*n, rng)
+	table := shortestpath.NewTable(g, 0)
+	ps, err := pairs.SampleViolating(table, dt, m, rng)
+	if err != nil {
+		t.Skipf("could not sample %d violating pairs: %v", m, err)
+	}
+	inst, err := NewInstance(g, ps, failprob.Threshold{P: 1 - math.Exp(-dt), D: dt}, k,
+		&Options{AllowTrivial: true, Table: table, Survive: mode})
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst
+}
+
+// surviveInstanceRetry is surviveInstance for exhaustive seed sweeps: when
+// a seed's graph cannot supply m violating pairs it deterministically
+// perturbs the sub-seed instead of skipping, so every sweep seed yields an
+// instance.
+func surviveInstanceRetry(t *testing.T, n, m, k int, dt float64, mode Survivability, seed int64) *Instance {
+	t.Helper()
+	for off := int64(0); off < 20; off++ {
+		rng := xrand.New(seed*1000 + off)
+		g := randomConnectedGraph(t, n, 2*n, rng)
+		table := shortestpath.NewTable(g, 0)
+		ps, err := pairs.SampleViolating(table, dt, m, rng)
+		if err != nil {
+			continue
+		}
+		inst, err := NewInstance(g, ps, failprob.Threshold{P: 1 - math.Exp(-dt), D: dt}, k,
+			&Options{AllowTrivial: true, Table: table, Survive: mode})
+		if err != nil {
+			t.Fatalf("NewInstance: %v", err)
+		}
+		return inst
+	}
+	t.Fatalf("seed %d: no graph yielded %d violating pairs", seed, m)
+	return nil
+}
+
+// naiveSigmaWorst recomputes σ⁻ with fresh Dijkstras per scenario: each
+// shortcut scenario drops one selected shortcut, each node scenario (node
+// mode) rebuilds G−v, drops the shortcuts incident to v, and counts pairs
+// incident to v as vacuously maintained.
+func naiveSigmaWorst(t *testing.T, inst *Instance, sel []int) int {
+	t.Helper()
+	worst, have := 0, false
+	fold := func(s int) {
+		if !have || s < worst {
+			worst, have = s, true
+		}
+	}
+	for j := range sel {
+		rest := make([]int, 0, len(sel)-1)
+		rest = append(rest, sel[:j]...)
+		rest = append(rest, sel[j+1:]...)
+		fold(naiveSigma(inst, rest))
+	}
+	if inst.Survive() == SurviveNode {
+		for v := 0; v < inst.N(); v++ {
+			fold(naiveNodeScenario(inst, sel, v))
+		}
+	}
+	if !have {
+		return naiveSigma(inst, nil)
+	}
+	return worst
+}
+
+// naiveNodeScenario evaluates σ for the failure of node v from first
+// principles, independent of the overlay machinery.
+func naiveNodeScenario(inst *Instance, sel []int, v int) int {
+	n := inst.N()
+	b := graph.NewBuilder(n)
+	for _, e := range inst.Graph().Edges() {
+		if int(e.U) != v && int(e.V) != v {
+			b.AddEdge(e.U, e.V, e.Length)
+		}
+	}
+	gv := b.MustBuild()
+	var edges []graph.Edge
+	for _, c := range sel {
+		e := inst.CandidateEdge(c)
+		if int(e.U) != v && int(e.V) != v {
+			edges = append(edges, e)
+		}
+	}
+	total := 0
+	for i, p := range inst.Pairs().Pairs() {
+		if int(p.U) == v || int(p.W) == v {
+			total += inst.PairWeight(i) // vacuous: the demand left with v
+			continue
+		}
+		dist := shortestpath.AugmentedDistances(gv, edges, p.U)
+		if dist[p.W] <= inst.Threshold().D {
+			total += inst.PairWeight(i)
+		}
+	}
+	return total
+}
+
+// TestSigmaWorstMatchesNaive locks Instance.SigmaWorst — the from-scratch
+// reference the incremental survivable search is compared against — to a
+// first-principles recompute, in both failure modes, on random selections
+// including duplicates.
+func TestSigmaWorstMatchesNaive(t *testing.T) {
+	for _, mode := range []Survivability{SurviveShortcut, SurviveNode} {
+		rng := xrand.New(977)
+		for trial := 0; trial < 6; trial++ {
+			inst := surviveInstance(t, 14, 6, 3, 0.8, mode, rng)
+			for rep := 0; rep < 6; rep++ {
+				sel := rng.SampleDistinct(inst.NumCandidates(), rng.Intn(4))
+				if len(sel) > 0 && rng.Bernoulli(0.3) {
+					sel = append(sel, sel[0]) // duplicates are legal survivable moves
+				}
+				got := inst.SigmaWorst(sel)
+				want := naiveSigmaWorst(t, inst, sel)
+				if got != want {
+					t.Fatalf("mode=%s trial=%d: SigmaWorst(%v) = %d, want %d", mode, trial, sel, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSurviveSearchMatchesInstance checks the memoized survivable search
+// against from-scratch evaluation after every mutation: Sigma() must equal
+// the scalarized survivableValue, and GainAdd must be the exact L
+// difference — including for candidates already selected.
+func TestSurviveSearchMatchesInstance(t *testing.T) {
+	for _, mode := range []Survivability{SurviveShortcut, SurviveNode} {
+		rng := xrand.New(1231)
+		inst := surviveInstance(t, 12, 5, 4, 0.8, mode, rng)
+		s := inst.NewSearch(nil)
+		if _, ok := s.(*surviveSearch); !ok {
+			t.Fatalf("mode=%s: NewSearch returned %T, want *surviveSearch", mode, s)
+		}
+		check := func(stage string) {
+			sel := s.Selection()
+			if got, want := s.Sigma(), inst.survivableValue(sel); got != want {
+				t.Fatalf("mode=%s %s: search L %d != instance L %d (sel %v)", mode, stage, got, want, sel)
+			}
+			for c := 0; c < inst.NumCandidates(); c += 3 {
+				want := inst.survivableValue(append(append([]int(nil), sel...), c)) - inst.survivableValue(sel)
+				if got := s.GainAdd(c); got != want {
+					t.Fatalf("mode=%s %s: GainAdd(%d) = %d, want %d (sel %v)", mode, stage, c, got, want, sel)
+				}
+			}
+			gains := s.GainsAdd()
+			for c := range gains {
+				want := inst.survivableValue(append(append([]int(nil), sel...), c)) - inst.survivableValue(sel)
+				if gains[c] != want {
+					t.Fatalf("mode=%s %s: GainsAdd[%d] = %d, want %d (sel %v)", mode, stage, c, gains[c], want, sel)
+				}
+			}
+		}
+		check("empty")
+		s.Add(7)
+		check("after add 7")
+		s.Add(7) // duplicate commit
+		check("after duplicate add")
+		s.Add(2)
+		check("after add 2")
+		for pos := range s.Selection() {
+			rest := s.Selection()
+			rest = append(rest[:pos], rest[pos+1:]...)
+			if got, want := s.SigmaDrop(pos), inst.survivableValue(rest); got != want {
+				t.Fatalf("mode=%s: SigmaDrop(%d) = %d, want %d", mode, pos, got, want)
+			}
+		}
+		s.RemoveAt(1)
+		check("after remove")
+	}
+}
+
+// TestSurvivableGreedyMatchesExhaustive is the brute-force differential
+// suite of the tentpole's acceptance criteria: on 24 seeds and both
+// failure modes, the survivable GreedySigma (memoized scenario searches,
+// warm gains, serial and parallel) must pick exactly the selection an
+// exhaustive per-round worst-case recompute picks, and the serial and
+// parallel runs must be byte-identical with identical deterministic work
+// counters.
+func TestSurvivableGreedyMatchesExhaustive(t *testing.T) {
+	for _, mode := range []Survivability{SurviveShortcut, SurviveNode} {
+		for seed := int64(1); seed <= 24; seed++ {
+			inst := surviveInstanceRetry(t, 12, 5, 3, 0.8, mode, seed)
+
+			// Exhaustive reference: every round evaluates L(S ∪ {c}) from
+			// scratch for every candidate (duplicates included), ties toward
+			// the lowest index, stopping at zero gain or budget.
+			var want []int
+			for len(want) < inst.K() {
+				cur := inst.survivableValue(want)
+				bestC, bestGain := -1, 0
+				scratch := append([]int(nil), want...)
+				for c := 0; c < inst.NumCandidates(); c++ {
+					if g := inst.survivableValue(append(scratch, c)) - cur; g > bestGain {
+						bestC, bestGain = c, g
+					}
+				}
+				if bestC < 0 {
+					break
+				}
+				want = append(want, bestC)
+			}
+
+			tg := telemetry.Global()
+			before := tg.Snapshot()
+			serial := GreedySigma(inst, Parallelism(1))
+			mid := tg.Snapshot()
+			parallel := GreedySigma(inst, Parallelism(4))
+			after := tg.Snapshot()
+
+			if !equalInts(serial.Selection, want) {
+				t.Fatalf("mode=%s seed=%d: survivable greedy picked %v, exhaustive reference %v",
+					mode, seed, serial.Selection, want)
+			}
+			if !equalInts(parallel.Selection, serial.Selection) {
+				t.Fatalf("mode=%s seed=%d: parallel %v != serial %v", mode, seed, parallel.Selection, serial.Selection)
+			}
+			sw, pw := mid.Sub(before).BackendInvariant(), after.Sub(mid).BackendInvariant()
+			if sw != pw {
+				t.Fatalf("mode=%s seed=%d: deterministic counters diverge across worker counts:\nserial   %+v\nparallel %+v",
+					mode, seed, sw, pw)
+			}
+			if sw.FailureScenariosEvaled == 0 {
+				t.Fatalf("mode=%s seed=%d: survivable run evaluated no failure scenarios", mode, seed)
+			}
+			if got := inst.SigmaWorst(serial.Selection); got < inst.BaseSigma() && mode == SurviveShortcut {
+				t.Fatalf("mode=%s seed=%d: shortcut-mode σ⁻ %d fell below σ(∅) %d", mode, seed, got, inst.BaseSigma())
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSurvivableLocalSearchNeverWorse drives LocalSearch over a survivable
+// problem: the refinement speaks the lexicographic objective, so (σ⁻, σ)
+// of the result must be ≥ the greedy input's, and the final placement must
+// still verify against the from-scratch evaluator.
+func TestSurvivableLocalSearchNeverWorse(t *testing.T) {
+	for _, mode := range []Survivability{SurviveShortcut, SurviveNode} {
+		rng := xrand.New(4242)
+		inst := surviveInstance(t, 12, 5, 3, 0.8, mode, rng)
+		seed := GreedySigma(inst)
+		before := inst.survivableValue(seed.Selection)
+		refined := LocalSearch(inst, seed.Selection, LocalSearchOptions{MaxIters: 5})
+		after := inst.survivableValue(refined.Selection)
+		if after < before {
+			t.Fatalf("mode=%s: local search worsened L: %d -> %d", mode, before, after)
+		}
+	}
+}
+
+// TestSurvivableSandwichPicksLexBest locks the survivable sandwich arm
+// pick: the winner must be lexicographically (σ⁻, σ)-maximal among the
+// three arms.
+func TestSurvivableSandwichPicksLexBest(t *testing.T) {
+	rng := xrand.New(808)
+	inst := surviveInstance(t, 12, 5, 3, 0.8, SurviveShortcut, rng)
+	res := Sandwich(inst)
+	bestL := inst.survivableValue(res.Best.Selection)
+	for _, arm := range []Placement{res.FMu, res.FSigma, res.FNu} {
+		if l := inst.survivableValue(arm.Selection); l > bestL {
+			t.Fatalf("sandwich winner L=%d beaten by arm L=%d", bestL, l)
+		}
+	}
+}
+
+// TestSigmaWorstShortcutMonotone exercises the monotonicity claim DESIGN.md
+// §11 makes for shortcut-mode σ⁻ (dropping any single shortcut from S∪{c}
+// leaves at least the coverage some scenario of S had), via the submodular
+// package's property checker over a small candidate sub-universe.
+func TestSigmaWorstShortcutMonotone(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := xrand.New(seed)
+		inst := surviveInstance(t, 10, 4, 3, 0.8, SurviveShortcut, rng)
+		sub := subUniverse(inst, 6)
+		f := func(sel []int) float64 {
+			mapped := make([]int, len(sel))
+			for i, e := range sel {
+				mapped[i] = sub[e]
+			}
+			return float64(inst.SigmaWorst(mapped))
+		}
+		if !submodular.IsMonotone(len(sub), f) {
+			t.Fatalf("seed=%d: shortcut-mode σ⁻ not monotone on sub-universe %v", seed, sub)
+		}
+	}
+}
+
+// TestSigmaWorstNotSubmodular pins the caveat that σ⁻ — like σ itself —
+// is not submodular: the property checker must find a witness within the
+// (deterministic) seed budget. This is what justifies verifying the
+// survivable greedy differentially instead of leaning on a (1−1/e) bound.
+func TestSigmaWorstNotSubmodular(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := xrand.New(seed)
+		inst := surviveInstance(t, 10, 4, 3, 0.8, SurviveShortcut, rng)
+		sub := subUniverse(inst, 6)
+		f := func(sel []int) float64 {
+			mapped := make([]int, len(sel))
+			for i, e := range sel {
+				mapped[i] = sub[e]
+			}
+			return float64(inst.SigmaWorst(mapped))
+		}
+		if ok, witness := submodular.IsSubmodular(len(sub), f); !ok {
+			t.Logf("seed=%d: non-submodularity witness %+v", seed, witness)
+			return
+		}
+	}
+	t.Fatal("no non-submodularity witness found for shortcut-mode σ⁻ within the seed budget")
+}
+
+// subUniverse picks count spread-out candidate indices.
+func subUniverse(inst *Instance, count int) []int {
+	sub := make([]int, count)
+	for i := range sub {
+		sub[i] = i * inst.NumCandidates() / count
+	}
+	return sub
+}
+
+// TestParseSurvivability covers the flag-value surface and the process
+// default resolution chain.
+func TestParseSurvivability(t *testing.T) {
+	for in, want := range map[string]Survivability{
+		"": SurviveAuto, "auto": SurviveAuto, "none": SurviveNone,
+		"shortcut": SurviveShortcut, "node": SurviveNode,
+	} {
+		got, err := ParseSurvivability(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSurvivability(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSurvivability("bogus"); err == nil {
+		t.Fatal("ParseSurvivability(bogus) did not error")
+	}
+	SetDefaultSurvivability(SurviveShortcut)
+	defer SetDefaultSurvivability(SurviveAuto)
+	if got := resolveSurvivability(SurviveAuto); got != SurviveShortcut {
+		t.Fatalf("resolve auto with default shortcut = %v", got)
+	}
+	if got := resolveSurvivability(SurviveNone); got != SurviveNone {
+		t.Fatalf("explicit none must override default, got %v", got)
+	}
+}

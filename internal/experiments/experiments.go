@@ -93,10 +93,18 @@ func (c Config) ratioTable(id, title string, ds dataset, ks []int, pts []float64
 				ratio = float64(fSigma.Sigma) / nu
 			}
 			if c.Sink != nil {
+				// Instances inherit the process-default survivability (the
+				// mscbench -survive flag); record the resolved mode and, when
+				// survivable, the declared worst-case σ⁻ (−1 otherwise).
+				sigmaWorst := -1
+				if inst.Survive() != core.SurviveNone {
+					sigmaWorst = inst.SigmaWorst(fSigma.Selection)
+				}
 				c.Sink.Emit(telemetry.RunRecord{
 					Name:       fmt.Sprintf("%s k=%d pt=%.2f", id, k, pt),
 					Algorithm:  "greedy_sigma",
 					Seed:       c.Seed,
+					Survive:    string(inst.Survive()),
 					Quick:      c.Quick,
 					N:          inst.N(),
 					Pairs:      ps.Len(),
@@ -105,6 +113,7 @@ func (c Config) ratioTable(id, title string, ds dataset, ks []int, pts []float64
 					Pt:         pt,
 					Sigma:      fSigma.Sigma,
 					MaxSigma:   inst.MaxSigma(),
+					SigmaWorst: sigmaWorst,
 					WallMS:     float64(time.Since(start).Nanoseconds()) / 1e6,
 					Counters:   telemetry.Global().Snapshot().Sub(before),
 				})

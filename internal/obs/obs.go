@@ -78,6 +78,14 @@ var (
 		"Pairs whose gains contribution one scan recomputed.",
 		ExpBuckets(1, 4, 10))
 
+	// ScenarioEval is the cost of one failure-scenario evaluation by the
+	// survivable objective (core surviveSearch): one scenario's incremental
+	// merge on commit, or one scenario's (usually warm) gains read during a
+	// candidate scan, in seconds.
+	ScenarioEval = NewHistogram(Default(), "msc_failure_scenario_eval_seconds",
+		"Wall-clock time of one survivable failure-scenario evaluation.",
+		ExpBuckets(1e-7, 4, 12)) // 100ns … ~0.4s
+
 	// ShardImbalance is the relative imbalance (max−min)/max of per-shard
 	// wall times of one timed sharded candidate scan: 0 = perfectly even,
 	// →1 = one shard did all the waiting.
@@ -113,6 +121,10 @@ func ObserveMerge(rowsChanged, pairsRescanned int64) {
 		RescanPairs.Observe(float64(pairsRescanned))
 	}
 }
+
+// ObserveScenarioEval records one failure-scenario evaluation's wall time.
+// Callers gate the clock reads on Enabled themselves.
+func ObserveScenarioEval(d time.Duration) { ScenarioEval.Observe(d.Seconds()) }
 
 // ObserveScanShards records one timed scan's shard imbalance when
 // collection is enabled.

@@ -261,5 +261,7 @@ func WriteTrajectoryFile(path string, t *Trajectory) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	// Atomic replace: a sweep killed mid-write must not leave a torn
+	// trajectory where a CI baseline used to be.
+	return telemetry.AtomicWriteFile(path, data, 0o644)
 }

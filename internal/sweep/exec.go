@@ -156,6 +156,9 @@ func (p *ProcessRunner) runPlace(ctx context.Context, sc Scenario) (telemetry.Ru
 		"-eval", sc.EvalMode,
 		"-jsonl", jsonl,
 	}
+	if sc.Survive != "" {
+		args = append(args, "-survive", sc.Survive)
+	}
 	args = p.opsArgs(args, sc)
 	if p.Iters > 0 {
 		args = append(args, "-iters", strconv.Itoa(p.Iters))

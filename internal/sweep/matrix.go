@@ -46,6 +46,11 @@ type Matrix struct {
 	// DistBackends and EvalModes mirror the -dist-backend and -eval flags.
 	DistBackends []string `json:"dist_backends"`
 	EvalModes    []string `json:"eval_modes"`
+	// Survive mirrors the -survive flag on place scenarios:
+	// auto|none|shortcut|node. Empty means the fault-free default; the
+	// scenario key grows a segment only for survivable modes, so existing
+	// trajectory keys are unchanged.
+	Survive []string `json:"survive,omitempty"`
 	// Parallelism mirrors -par: 1 = serial, 0 = GOMAXPROCS.
 	Parallelism []int `json:"parallelism"`
 	// Seeds drives both instance sampling and randomized solvers; one run
@@ -62,8 +67,10 @@ type Matrix struct {
 }
 
 // QuickMatrix is the smoke sweep CI runs on every push: 2 budgets × 2
-// solvers × 3 seeds on a 40-node RGG, plus one whole-suite mscbench
-// experiment — 13 child runs, a few seconds end to end.
+// solvers × 2 survivability modes × 3 seeds on a 40-node RGG, plus one
+// whole-suite mscbench experiment — 25 child runs, a few seconds end to
+// end. The survivable half gates the worst-case σ⁻ objective against the
+// same baseline discipline as the fault-free runs.
 func QuickMatrix() Matrix {
 	return Matrix{
 		Families:     []string{"rgg"},
@@ -74,6 +81,7 @@ func QuickMatrix() Matrix {
 		Solvers:      []string{"greedy", "sandwich"},
 		DistBackends: []string{"auto"},
 		EvalModes:    []string{"auto"},
+		Survive:      []string{"none", "shortcut"},
 		Parallelism:  []int{1},
 		Seeds:        []int64{1, 2, 3},
 		Experiments:  []string{"table1"},
@@ -96,6 +104,7 @@ var (
 	validSolvers  = map[string]bool{"sandwich": true, "greedy": true, "mu": true, "nu": true, "ea": true, "aea": true, "random": true, "cn": true}
 	validBackends = map[string]bool{"auto": true, "dense": true, "lazy": true}
 	validEvals    = map[string]bool{"auto": true, "incremental": true, "rebuild": true}
+	validSurvive  = map[string]bool{"auto": true, "none": true, "shortcut": true, "node": true}
 )
 
 // Validate checks every axis and returns the first violation as a typed
@@ -120,6 +129,9 @@ func (m Matrix) Validate() error {
 		return err
 	}
 	if err := validateNames("eval_modes", m.EvalModes, validEvals); err != nil {
+		return err
+	}
+	if err := validateNames("survive", m.Survive, validSurvive); err != nil {
 		return err
 	}
 	for _, p := range m.Parallelism {
@@ -201,6 +213,9 @@ type Scenario struct {
 	Pt     float64 `json:"p_t,omitempty"`
 	K      int     `json:"k,omitempty"`
 	Solver string  `json:"solver,omitempty"`
+	// Survive is the -survive mode; empty or "none" is the fault-free
+	// objective and adds no key segment.
+	Survive string `json:"survive,omitempty"`
 
 	// Bench axis (Kind == KindBench).
 	Experiment string `json:"experiment,omitempty"`
@@ -228,8 +243,14 @@ func (s Scenario) Key() string {
 		}
 		return fmt.Sprintf("bench/%s/%s/%s/%s/par%d", s.Experiment, quick, s.DistBackend, s.EvalMode, s.Par)
 	default:
-		return fmt.Sprintf("place/%s/n%d/m%d/pt%s/k%d/%s/%s/%s/par%d",
+		key := fmt.Sprintf("place/%s/n%d/m%d/pt%s/k%d/%s/%s/%s/par%d",
 			s.Family, s.N, s.M, formatPt(s.Pt), s.K, s.Solver, s.DistBackend, s.EvalMode, s.Par)
+		// Survivable runs get their own segment; fault-free runs keep the
+		// historical key so existing baselines diff cleanly.
+		if s.Survive != "" && s.Survive != "none" && s.Survive != "auto" {
+			key += "/sv-" + s.Survive
+		}
+		return key
 	}
 }
 
@@ -257,6 +278,7 @@ func (m Matrix) Expand() ([]Scenario, error) {
 	}
 	backends := orDefault(m.DistBackends, "auto")
 	evals := orDefault(m.EvalModes, "auto")
+	survives := orDefault(m.Survive, "auto")
 	pars := m.Parallelism
 	if len(pars) == 0 {
 		pars = []int{0}
@@ -276,17 +298,19 @@ func (m Matrix) Expand() ([]Scenario, error) {
 						for _, solver := range m.Solvers {
 							for _, backend := range backends {
 								for _, eval := range evals {
-									for _, par := range pars {
-										for _, seed := range m.Seeds {
-											sc := Scenario{
-												Kind: KindPlace, Family: family, N: n, M: mm, Pt: pt, K: k,
-												Solver: solver, DistBackend: backend, EvalMode: eval,
-												Par: par, Quick: m.Quick, Seed: seed,
+									for _, survive := range survives {
+										for _, par := range pars {
+											for _, seed := range m.Seeds {
+												sc := Scenario{
+													Kind: KindPlace, Family: family, N: n, M: mm, Pt: pt, K: k,
+													Solver: solver, DistBackend: backend, EvalMode: eval,
+													Survive: survive, Par: par, Quick: m.Quick, Seed: seed,
+												}
+												if family == "social" {
+													sc.N = 0 // generator-fixed; keep the key honest
+												}
+												out = append(out, sc)
 											}
-											if family == "social" {
-												sc.N = 0 // generator-fixed; keep the key honest
-											}
-											out = append(out, sc)
 										}
 									}
 								}

@@ -10,24 +10,30 @@ func TestQuickMatrixExpands(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 k × 2 solvers × 3 seeds place runs + 1 experiment × 3 seeds.
-	if len(scs) != 15 {
-		t.Fatalf("quick matrix expands to %d runs, want 15", len(scs))
+	// 2 k × 2 solvers × 2 survive × 3 seeds place runs + 1 experiment × 3
+	// seeds.
+	if len(scs) != 27 {
+		t.Fatalf("quick matrix expands to %d runs, want 27", len(scs))
 	}
 	keys := make(map[string]int)
 	for _, sc := range scs {
 		keys[sc.Key()]++
 	}
-	if len(keys) != 5 {
-		t.Fatalf("quick matrix has %d scenario keys, want 5: %v", len(keys), keys)
+	if len(keys) != 9 {
+		t.Fatalf("quick matrix has %d scenario keys, want 9: %v", len(keys), keys)
 	}
 	for key, n := range keys {
 		if n != 3 {
 			t.Errorf("key %s has %d runs, want 3 (one per seed)", key, n)
 		}
 	}
+	// The fault-free half keeps the historical key shape; the survivable
+	// half gets its own segment.
 	if _, ok := keys["place/rgg/n40/m8/pt0.12/k2/greedy/auto/auto/par1"]; !ok {
 		t.Errorf("expected canonical place key missing: %v", keys)
+	}
+	if _, ok := keys["place/rgg/n40/m8/pt0.12/k2/greedy/auto/auto/par1/sv-shortcut"]; !ok {
+		t.Errorf("expected survivable place key missing: %v", keys)
 	}
 	if _, ok := keys["bench/table1/quick/auto/auto/par1"]; !ok {
 		t.Errorf("expected canonical bench key missing: %v", keys)
@@ -167,7 +173,7 @@ func TestSocialFamilyCollapsesN(t *testing.T) {
 	}
 	// The social generator is fixed-size: the n axis must not fan
 	// identical runs under different keys.
-	want := 2 * 2 * 3 // k × solver × seeds
+	want := 2 * 2 * 2 * 3 // k × solver × survive × seeds
 	if len(scs) != want {
 		t.Fatalf("social family expanded to %d runs, want %d", len(scs), want)
 	}

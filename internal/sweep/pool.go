@@ -26,6 +26,19 @@ type Result struct {
 	// sample name → value), when the Runner implements MetricsHarvester
 	// and harvesting is on; nil otherwise.
 	Metrics map[string]float64
+	// Retries counts how many transient-failure retries this run consumed
+	// (0 when it succeeded first try), when the Runner implements
+	// RetryReporter (see Retrier).
+	Retries int
+}
+
+// RetryReporter is the optional Runner extension for retry accounting:
+// after each Run — failed or not, since a run can burn retries before its
+// final failure — RunAll calls TakeRetries with the same scenario and
+// records the count in the Result. Take semantics keep the reporter's
+// buffer bounded.
+type RetryReporter interface {
+	TakeRetries(sc Scenario) int
 }
 
 // MetricsHarvester is the optional Runner extension for ops-metric
@@ -75,6 +88,9 @@ func RunAll(ctx context.Context, r Runner, scenarios []Scenario, workers int, pr
 					res.Record, res.Err = r.Run(ctx, sc)
 					if h, ok := r.(MetricsHarvester); ok && res.Err == nil {
 						res.Metrics = h.TakeMetrics(sc)
+					}
+					if rr, ok := r.(RetryReporter); ok {
+						res.Retries = rr.TakeRetries(sc)
 					}
 				}
 				results[i] = res

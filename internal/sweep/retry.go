@@ -1,0 +1,146 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"os/exec"
+	"sync"
+	"time"
+
+	"msc/internal/telemetry"
+)
+
+// Transient reports whether a run failure is worth retrying: an infra
+// fault that a fresh attempt can plausibly clear, never a deterministic
+// solver error (which would fail identically every time and triple the
+// sweep's wall clock for nothing). Transient classes:
+//
+//   - exec: the child could not be started at all (exec.Error, PathError —
+//     e.g. a momentarily unavailable binary on a network mount), or it was
+//     killed by a signal it did not choose (ExitCode −1: the OOM killer's
+//     SIGKILL, a stray kill). A child that ran and exited nonzero made a
+//     decision; its error is not transient.
+//   - ingest: the child exited 0 but its record stream is missing or cut
+//     short (torn write from an external kill between flush and rename).
+//
+// Cancellation of the sweep's own context is a decision, not a fault, and
+// is never transient — likewise the generate stage, whose outcome is
+// cached per instance key (a retry would replay the cached error).
+func Transient(err error) bool {
+	var re *RunError
+	if !errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	switch re.Stage {
+	case "exec":
+		var xe *exec.ExitError
+		if errors.As(err, &xe) {
+			return xe.ExitCode() == -1 // signal-killed, not a solver exit
+		}
+		var ee *exec.Error
+		var pe *fs.PathError
+		return errors.As(err, &ee) || errors.As(err, &pe)
+	case "ingest":
+		return errors.Is(err, fs.ErrNotExist) || errors.Is(err, io.ErrUnexpectedEOF)
+	}
+	return false
+}
+
+// Retrier wraps a Runner with bounded retry of Transient failures, so one
+// OOM-killed child does not scrap an hours-long sweep. Deterministic
+// solver failures pass through untouched on the first attempt. Attempts
+// back off exponentially with a per-scenario deterministic jitter
+// (hashed, not random), keeping sweeps reproducible run to run.
+//
+// Retrier implements RetryReporter, so RunAll records how many retries
+// each scenario consumed in its Result — a sweep that only passes on
+// retry is visible, not silent.
+type Retrier struct {
+	Runner Runner
+	// Max bounds the retries per scenario (attempts = Max+1); 0 means the
+	// default of 2.
+	Max int
+	// BaseDelay is the first backoff (default 250ms); attempt i waits
+	// BaseDelay·2^i plus up to 50% deterministic jitter.
+	BaseDelay time.Duration
+	// Sleep is injectable for tests (default time.Sleep).
+	Sleep func(time.Duration)
+
+	mu      sync.Mutex
+	retries map[string]int
+}
+
+// Run implements Runner.
+func (r *Retrier) Run(ctx context.Context, sc Scenario) (telemetry.RunRecord, error) {
+	max := r.Max
+	if max <= 0 {
+		max = 2
+	}
+	base := r.BaseDelay
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	attempt := 0
+	for {
+		rec, err := r.Runner.Run(ctx, sc)
+		if err == nil || attempt >= max || !Transient(err) || ctx.Err() != nil {
+			if attempt > 0 {
+				r.mu.Lock()
+				if r.retries == nil {
+					r.retries = make(map[string]int)
+				}
+				r.retries[retryKey(sc)] = attempt
+				r.mu.Unlock()
+			}
+			return rec, err
+		}
+		sleep(backoffDelay(base, attempt, sc))
+		attempt++
+	}
+}
+
+// TakeRetries implements RetryReporter: it removes and returns the retry
+// count consumed by sc's run (0 when it succeeded first try).
+func (r *Retrier) TakeRetries(sc Scenario) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := retryKey(sc)
+	n := r.retries[key]
+	delete(r.retries, key)
+	return n
+}
+
+// TakeMetrics forwards MetricsHarvester to the wrapped runner, so ops
+// harvesting survives the retry layer.
+func (r *Retrier) TakeMetrics(sc Scenario) map[string]float64 {
+	if h, ok := r.Runner.(MetricsHarvester); ok {
+		return h.TakeMetrics(sc)
+	}
+	return nil
+}
+
+func retryKey(sc Scenario) string {
+	return sc.Key() + "|" + sc.InstanceKey()
+}
+
+// backoffDelay is BaseDelay·2^attempt plus up to 50% jitter derived from
+// an FNV hash of (scenario, attempt) — decorrelated across scenarios,
+// identical across sweep invocations.
+func backoffDelay(base time.Duration, attempt int, sc Scenario) time.Duration {
+	d := base << uint(attempt)
+	h := fnv.New64a()
+	io.WriteString(h, retryKey(sc))
+	h.Write([]byte{byte(attempt)})
+	frac := float64(h.Sum64()%1024) / 1024
+	return d + time.Duration(frac*float64(d)/2)
+}

@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os/exec"
+	"testing"
+	"time"
+
+	"msc/internal/telemetry"
+)
+
+// exitErrFromShell runs a shell snippet and returns the resulting
+// *exec.ExitError, so classification tests exercise real process
+// failure shapes instead of hand-built ones.
+func exitErrFromShell(t *testing.T, script string) error {
+	t.Helper()
+	err := exec.Command("/bin/sh", "-c", script).Run()
+	var xe *exec.ExitError
+	if !errors.As(err, &xe) {
+		t.Fatalf("shell %q: got %v, want *exec.ExitError", script, err)
+	}
+	return err
+}
+
+func TestTransientClassification(t *testing.T) {
+	sc := Scenario{Kind: KindPlace, Family: "rgg", N: 10, M: 3, Pt: 0.1, K: 2, Solver: "greedy", Seed: 1}
+	killed := exitErrFromShell(t, "kill -KILL $$")
+	exited := exitErrFromShell(t, "exit 3")
+	startFail := exec.Command("/definitely/not/a/binary").Run()
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"bare error", errors.New("boom"), false},
+		{"exec signal-killed", &RunError{Scenario: sc, Stage: "exec", Err: killed}, true},
+		{"exec nonzero solver exit", &RunError{Scenario: sc, Stage: "exec", Err: exited}, false},
+		{"exec start failure", &RunError{Scenario: sc, Stage: "exec", Err: startFail}, true},
+		{"exec canceled", &RunError{Scenario: sc, Stage: "exec",
+			Err: fmt.Errorf("%v (%w)", killed, context.Canceled)}, false},
+		{"ingest missing file", &RunError{Scenario: sc, Stage: "ingest",
+			Err: &fs.PathError{Op: "open", Path: "x.jsonl", Err: fs.ErrNotExist}}, true},
+		{"ingest truncation", &RunError{Scenario: sc, Stage: "ingest",
+			Err: fmt.Errorf("x.jsonl: %w", io.ErrUnexpectedEOF)}, true},
+		{"ingest schema violation", &RunError{Scenario: sc, Stage: "ingest",
+			Err: errors.New("line 3: run event missing required field \"sigma\"")}, false},
+		{"generate cached failure", &RunError{Scenario: sc, Stage: "generate", Err: killed}, false},
+		{"harvest", &RunError{Scenario: sc, Stage: "harvest", Err: fs.ErrNotExist}, false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("%s: Transient = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// flakyRunner fails each scenario with err until its per-scenario failure
+// budget runs out, then succeeds.
+type flakyRunner struct {
+	failures int
+	err      func(sc Scenario) error
+	calls    map[string]int
+}
+
+func (f *flakyRunner) Run(_ context.Context, sc Scenario) (telemetry.RunRecord, error) {
+	if f.calls == nil {
+		f.calls = make(map[string]int)
+	}
+	f.calls[retryKey(sc)]++
+	if f.calls[retryKey(sc)] <= f.failures {
+		return telemetry.RunRecord{}, f.err(sc)
+	}
+	return telemetry.RunRecord{Name: sc.Solver, Sigma: 7, SigmaWorst: -1}, nil
+}
+
+func TestRetrierRecoversTransientFailures(t *testing.T) {
+	killed := exitErrFromShell(t, "kill -KILL $$")
+	flaky := &flakyRunner{failures: 2, err: func(sc Scenario) error {
+		return &RunError{Scenario: sc, Stage: "exec", Err: killed}
+	}}
+	var slept []time.Duration
+	r := &Retrier{Runner: flaky, Max: 2, BaseDelay: 10 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	sc := Scenario{Kind: KindPlace, Family: "rgg", N: 10, M: 3, Pt: 0.1, K: 2, Solver: "greedy", Seed: 1}
+
+	results := RunAll(context.Background(), r, []Scenario{sc}, 1, nil)
+	if err := results[0].Err; err != nil {
+		t.Fatalf("run failed through retrier: %v", err)
+	}
+	if results[0].Record.Sigma != 7 {
+		t.Fatalf("record not from the successful attempt: %+v", results[0].Record)
+	}
+	if results[0].Retries != 2 {
+		t.Fatalf("Result.Retries = %d, want 2", results[0].Retries)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// Exponential with bounded deterministic jitter: attempt i in
+	// [base·2^i, 1.5·base·2^i].
+	for i, d := range slept {
+		lo := 10 * time.Millisecond << uint(i)
+		if d < lo || d > lo+lo/2 {
+			t.Fatalf("backoff %d = %v outside [%v, %v]", i, d, lo, lo+lo/2)
+		}
+	}
+	if n := r.TakeRetries(sc); n != 0 {
+		t.Fatalf("retries not take-consumed: second take = %d", n)
+	}
+}
+
+func TestRetrierExhaustsBudget(t *testing.T) {
+	killed := exitErrFromShell(t, "kill -KILL $$")
+	flaky := &flakyRunner{failures: 10, err: func(sc Scenario) error {
+		return &RunError{Scenario: sc, Stage: "exec", Err: killed}
+	}}
+	r := &Retrier{Runner: flaky, Max: 2, Sleep: func(time.Duration) {}}
+	sc := Scenario{Kind: KindPlace, Family: "rgg", N: 10, M: 3, Pt: 0.1, K: 2, Solver: "greedy", Seed: 1}
+	results := RunAll(context.Background(), r, []Scenario{sc}, 1, nil)
+	if results[0].Err == nil {
+		t.Fatal("want failure after budget exhausted")
+	}
+	if got := flaky.calls[retryKey(sc)]; got != 3 {
+		t.Fatalf("runner called %d times, want 3 (1 + Max retries)", got)
+	}
+	if results[0].Retries != 2 {
+		t.Fatalf("Result.Retries = %d on final failure, want 2", results[0].Retries)
+	}
+}
+
+func TestRetrierPassesSolverErrorsThrough(t *testing.T) {
+	exited := exitErrFromShell(t, "exit 3")
+	flaky := &flakyRunner{failures: 10, err: func(sc Scenario) error {
+		return &RunError{Scenario: sc, Stage: "exec", Err: exited}
+	}}
+	r := &Retrier{Runner: flaky, Max: 5, Sleep: func(d time.Duration) {
+		t.Fatalf("slept %v for a non-transient error", d)
+	}}
+	sc := Scenario{Kind: KindPlace, Family: "rgg", N: 10, M: 3, Pt: 0.1, K: 2, Solver: "greedy", Seed: 1}
+	results := RunAll(context.Background(), r, []Scenario{sc}, 1, nil)
+	if results[0].Err == nil {
+		t.Fatal("want solver error through untouched")
+	}
+	if got := flaky.calls[retryKey(sc)]; got != 1 {
+		t.Fatalf("runner called %d times for a deterministic failure, want 1", got)
+	}
+	if results[0].Retries != 0 {
+		t.Fatalf("Result.Retries = %d, want 0", results[0].Retries)
+	}
+}

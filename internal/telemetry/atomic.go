@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// AtomicWriteFile writes data to path crash-safely: into a temp file in
+// the same directory, fsynced, then atomically renamed over path. A crash
+// at any instant leaves either the previous complete file or the new
+// complete file — never a torn prefix — which is what checkpoint resume
+// and trajectory baselines require. The directory entry is fsynced after
+// the rename on a best-effort basis (some filesystems don't support it).
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	tmpName = ""
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// AtomicJSONLSink is a crash-safe JSONLSink for low-frequency streams
+// whose consumers need every line complete — checkpoint files above all:
+// a resume that reads a torn final checkpoint line fails validation and
+// scraps the run it was meant to save. Each Emit rewrites the whole
+// stream via AtomicWriteFile, so the on-disk file is always a complete,
+// schema-valid prefix of the emitted events.
+//
+// The whole stream lives in memory and every Emit costs a full rewrite, so
+// this sink is for checkpoint cadences (tens of events), not per-round
+// tracing — keep the plain JSONLSink for hot streams.
+type AtomicJSONLSink struct {
+	mu   sync.Mutex
+	path string
+	buf  []byte
+	err  error
+}
+
+// NewAtomicJSONL returns a crash-safe sink rewriting path on every event.
+// The file is not created until the first Emit; an existing file is
+// replaced wholesale on the first Emit (matching the truncate semantics
+// of opening a fresh plain sink).
+func NewAtomicJSONL(path string) *AtomicJSONLSink {
+	return &AtomicJSONLSink{path: path}
+}
+
+// Emit appends the event and atomically rewrites the file. Errors are
+// sticky and reported by Err; Emit itself never fails, matching
+// JSONLSink.
+func (s *AtomicJSONLSink) Emit(e Event) {
+	line, err := EncodeEvent(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.buf = append(s.buf, line...)
+	s.buf = append(s.buf, '\n')
+	if err := AtomicWriteFile(s.path, s.buf, 0o644); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first encoding or write error the sink hit, or nil.
+func (s *AtomicJSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

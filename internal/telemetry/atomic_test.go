@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWriteFileReplacesWholeFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicWriteFile(path, []byte("first version, quite long"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content = %q, want full replacement (no stale tail)", got)
+	}
+	// No temp litter after successful renames.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "out.json" {
+		t.Fatalf("directory not clean after atomic writes: %v", ents)
+	}
+}
+
+func TestAtomicWriteFileFailureLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "missing-parent", "out.json")
+	if err := AtomicWriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("want error for unwritable directory")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed write materialized a file: %v", err)
+	}
+}
+
+// TestAtomicJSONLSinkNeverTornMidStream is the torn-write regression for
+// checkpoint files: after every single Emit, the file on disk must be a
+// complete, schema-valid JSONL stream whose last checkpoint is readable —
+// the invariant a crash at any instant relies on. The plain append sink
+// cannot give this (a kill between Write syscalls tears the final line);
+// the atomic sink must.
+func TestAtomicJSONLSinkNeverTornMidStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	sink := NewAtomicJSONL(path)
+	for round := 1; round <= 5; round++ {
+		sink.Emit(CheckpointEvent{
+			Algorithm: "ea",
+			Round:     round,
+			Seed:      7,
+			Draws:     uint64(round * 13),
+			Best:      CheckpointSolution{Selection: []int{1, 2}, Sigma: round},
+		})
+		if err := sink.Err(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !bytes.HasSuffix(data, []byte("\n")) {
+			t.Fatalf("round %d: stream does not end at a line boundary", round)
+		}
+		counts, err := ValidateJSONL(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("round %d: on-disk stream invalid: %v", round, err)
+		}
+		if counts["checkpoint"] != round {
+			t.Fatalf("round %d: %d checkpoint lines on disk", round, counts["checkpoint"])
+		}
+		cp, err := LastCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("round %d: LastCheckpoint: %v", round, err)
+		}
+		if cp.Round != round || cp.Draws != uint64(round*13) {
+			t.Fatalf("round %d: resumed wrong snapshot: %+v", round, cp)
+		}
+	}
+}
+
+func TestAtomicJSONLSinkStickyError(t *testing.T) {
+	// A path whose parent can never exist makes every write fail; the
+	// first failure must stick and later emits stay no-ops.
+	sink := NewAtomicJSONL(filepath.Join(t.TempDir(), "no-such-dir", "x.jsonl"))
+	sink.Emit(CheckpointEvent{Algorithm: "ea", Round: 1})
+	first := sink.Err()
+	if first == nil {
+		t.Fatal("want sticky error for unwritable path")
+	}
+	sink.Emit(CheckpointEvent{Algorithm: "ea", Round: 2})
+	if got := sink.Err(); got != first {
+		t.Fatalf("error not sticky: %v then %v", first, got)
+	}
+	if !strings.Contains(first.Error(), "no-such-dir") {
+		t.Fatalf("error does not name the path: %v", first)
+	}
+}

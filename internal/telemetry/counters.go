@@ -58,6 +58,13 @@ type Counters struct {
 	// it could keep verbatim (no endpoint row changed).
 	PairsRescanned atomic.Int64
 	PairsSkipped   atomic.Int64
+
+	// FailureScenariosEvaled counts single-failure scenario σ evaluations
+	// performed by the survivable objective (core σ⁻): one per scenario
+	// folded into a worst-case recompute. Stays 0 under SurviveNone. Like
+	// the solver counters, the total depends only on the failure model and
+	// the selection trajectory, never on shard boundaries.
+	FailureScenariosEvaled atomic.Int64
 }
 
 // global is the process-wide counter set every instrumented package feeds.
@@ -92,6 +99,8 @@ type CounterSnapshot struct {
 	RowsUnchanged  int64 `json:"rows_unchanged"`
 	PairsRescanned int64 `json:"pairs_rescanned"`
 	PairsSkipped   int64 `json:"pairs_skipped"`
+
+	FailureScenariosEvaled int64 `json:"failure_scenarios_evaled"`
 }
 
 // Snapshot reads all counters. Each field is read atomically; the snapshot
@@ -118,6 +127,8 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		RowsUnchanged:  c.RowsUnchanged.Load(),
 		PairsRescanned: c.PairsRescanned.Load(),
 		PairsSkipped:   c.PairsSkipped.Load(),
+
+		FailureScenariosEvaled: c.FailureScenariosEvaled.Load(),
 	}
 }
 
@@ -141,6 +152,7 @@ func (c *Counters) Reset() {
 	c.RowsUnchanged.Store(0)
 	c.PairsRescanned.Store(0)
 	c.PairsSkipped.Store(0)
+	c.FailureScenariosEvaled.Store(0)
 }
 
 // BackendInvariant returns a copy of the snapshot with every counter that
@@ -183,5 +195,7 @@ func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
 		RowsUnchanged:  s.RowsUnchanged - prev.RowsUnchanged,
 		PairsRescanned: s.PairsRescanned - prev.PairsRescanned,
 		PairsSkipped:   s.PairsSkipped - prev.PairsSkipped,
+
+		FailureScenariosEvaled: s.FailureScenariosEvaled - prev.FailureScenariosEvaled,
 	}
 }

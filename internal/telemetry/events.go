@@ -25,6 +25,10 @@ type RoundEvent struct {
 	Gain int `json:"gain"`
 	// Sigma is σ of the algorithm's incumbent after the round.
 	Sigma int `json:"sigma"`
+	// SigmaWorst is the survivable worst-case σ⁻ of the incumbent after the
+	// round; nil for fault-free runs (core.SurviveNone). When set, Gain is
+	// measured on the lexicographic objective (σ⁻, σ), not on σ alone.
+	SigmaWorst *int `json:"sigma_worst,omitempty"`
 	// Selected is the incumbent selection size after the round.
 	Selected int `json:"selected"`
 	// Candidates is the number of candidate evaluations this round scanned
@@ -68,6 +72,10 @@ type SandwichEvent struct {
 	Best string `json:"best"`
 	// Sigma is σ of the winning placement.
 	Sigma int `json:"sigma"`
+	// SigmaWorst is σ⁻ of the winning placement under the problem's
+	// survivability mode; nil for fault-free runs. Survivable runs pick the
+	// winner lexicographically by (σ⁻, σ) instead of by σ.
+	SigmaWorst *int `json:"sigma_worst,omitempty"`
 	// Ratio is σ(F_σ)/ν(F_σ) and ApproxFactor is Ratio·(1−1/e) — the
 	// computable guarantee of Eq. (5).
 	Ratio        float64 `json:"ratio"`
@@ -154,6 +162,9 @@ type RunRecord struct {
 	// with ("auto", "incremental", "rebuild"); "" for runs that predate
 	// the field.
 	EvalMode string `json:"eval_mode"`
+	// Survive records the survivability mode the run was launched with
+	// ("none", "shortcut", "node"); "" for runs that predate the field.
+	Survive string `json:"survive"`
 	// Quick marks reduced-scale smoke runs.
 	Quick bool `json:"quick"`
 	// Instance shape: node count, important pairs, candidate-universe
@@ -167,6 +178,9 @@ type RunRecord struct {
 	// when the run has no single σ (e.g. a whole experiment suite).
 	Sigma    int `json:"sigma"`
 	MaxSigma int `json:"max_sigma"`
+	// SigmaWorst is the survivable worst-case σ⁻ of the final placement; −1
+	// for fault-free runs and runs with no single placement.
+	SigmaWorst int `json:"sigma_worst"`
 	// WallMS is the run's wall-clock time in milliseconds.
 	WallMS float64 `json:"wall_ms"`
 	// ShardImbalance is the mean relative per-shard wall-time imbalance

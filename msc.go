@@ -99,6 +99,9 @@ type (
 	// EvalMode selects how searches maintain their state across Add
 	// commits: EvalIncremental or EvalRebuild.
 	EvalMode = core.EvalMode
+	// Survivability selects the failure model an instance optimizes
+	// against: SurviveNone, SurviveShortcut, or SurviveNode.
+	Survivability = core.Survivability
 	// Rand is the deterministic randomness source used by the randomized
 	// algorithms and generators.
 	Rand = xrand.Rand
@@ -145,6 +148,9 @@ type (
 	ShardPanicError = core.ShardPanicError
 	// InputError reports a structurally invalid solver argument.
 	InputError = core.InputError
+	// WorstCaseProblem extends Problem with the worst-case objective σ⁻
+	// of survivable instances.
+	WorstCaseProblem = core.WorstCaseProblem
 	// Checkpoint snapshots a resumable EA/AEA run at an iteration
 	// boundary; see EAOptions.Resume / AEAOptions.Resume.
 	Checkpoint = telemetry.CheckpointEvent
@@ -181,6 +187,18 @@ const (
 	EvalModeAuto    = core.EvalModeAuto
 	EvalIncremental = core.EvalIncremental
 	EvalRebuild     = core.EvalRebuild
+)
+
+// Survivability modes selectable via InstanceOptions.Survive. SurviveAuto
+// (the zero value) resolves to SurviveNone unless SetDefaultSurvivability
+// installed a different default. Under SurviveShortcut or SurviveNode the
+// solvers maximize the worst-case σ⁻ over all single shortcut or node
+// failures, breaking ties by fault-free σ; see DESIGN.md §11.
+const (
+	SurviveAuto     = core.SurviveAuto
+	SurviveNone     = core.SurviveNone
+	SurviveShortcut = core.SurviveShortcut
+	SurviveNode     = core.SurviveNode
 )
 
 // Parallelism fixes the number of candidate-scan workers a solver may use:
@@ -261,6 +279,15 @@ func SetDefaultEvalMode(m EvalMode) { core.SetDefaultEvalMode(m) }
 // ParseEvalMode validates an -eval flag value ("auto", "incremental",
 // "rebuild").
 func ParseEvalMode(s string) (EvalMode, error) { return core.ParseEvalMode(s) }
+
+// SetDefaultSurvivability sets the failure model used by instances built
+// with SurviveAuto; SurviveAuto restores the fault-free default. Wired to
+// the -survive flag of mscplace and mscbench.
+func SetDefaultSurvivability(m Survivability) { core.SetDefaultSurvivability(m) }
+
+// ParseSurvivability validates a -survive flag value ("auto", "none",
+// "shortcut", "node").
+func ParseSurvivability(s string) (Survivability, error) { return core.ParseSurvivability(s) }
 
 // SampleViolatingPairs randomly picks m pairs whose current best path
 // violates the distance threshold — the paper's evaluation setup
@@ -373,6 +400,10 @@ type (
 	TelemetryEvent = telemetry.Event
 	// JSONLSink serializes events as one JSON object per line.
 	JSONLSink = telemetry.JSONLSink
+	// AtomicJSONLSink is the crash-safe JSONLSink for checkpoint files:
+	// every Emit rewrites the file via temp-file + fsync + rename, so the
+	// on-disk stream is never torn mid-line.
+	AtomicJSONLSink = telemetry.AtomicJSONLSink
 	// FanoutSink multiplexes one event stream to attached sinks and live
 	// channel subscribers (the ops server's /events stream).
 	FanoutSink = telemetry.FanoutSink
@@ -394,6 +425,12 @@ type (
 // Emit is safe for concurrent use and the first write error is sticky
 // (check Err after the run).
 func NewJSONLSink(w io.Writer) *JSONLSink { return telemetry.NewJSONL(w) }
+
+// NewAtomicJSONLSink returns a crash-safe sink that atomically rewrites
+// path on every event (temp file + fsync + rename). Use it for checkpoint
+// streams, where a torn final line would scrap the resume; keep
+// NewJSONLSink for hot per-round traces.
+func NewAtomicJSONLSink(path string) *AtomicJSONLSink { return telemetry.NewAtomicJSONL(path) }
 
 // NewFanoutSink returns an empty event fanout; attach sinks and subscribe
 // live consumers, then pass it wherever a TelemetrySink goes.
