@@ -466,6 +466,107 @@ func TestMscplaceJSONLTrace(t *testing.T) {
 	runTool(t, "mscbench", "-validate", trace)
 }
 
+// TestMscplaceBudgetE2E drives a budget-weighted run against the real
+// mscplace binary: the knapsack budget and length cost model must show up
+// on stdout, in the placement JSON, and in the telemetry run record —
+// which must also pass the shared schema validator.
+func TestMscplaceBudgetE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	placement := filepath.Join(dir, "placement.json")
+	trace := filepath.Join(dir, "trace.jsonl")
+	runTool(t, "mscgen", "-kind", "rgg", "-n", "40", "-m", "8", "-pt", "0.12",
+		"-k", "2", "-seed", "3", "-out", inst)
+	bin := buildTool(t, dir, "mscplace")
+
+	cmd := exec.Command(bin, "-in", inst, "-alg", "sandwich",
+		"-budget", "2", "-cost-model", "length", "-out", placement, "-jsonl", trace)
+	rawOut, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mscplace -budget failed: %v\n%s", err, rawOut)
+	}
+	out := string(rawOut)
+	if !strings.Contains(out, "B=2, cost model length") || !strings.Contains(out, "budget spent") {
+		t.Fatalf("budgeted run output missing budget report:\n%s", out)
+	}
+
+	// The placement JSON carries the budget triple alongside the shortcuts.
+	praw, err := os.ReadFile(placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pdoc struct {
+		Sigma     int        `json:"maintained_pairs"`
+		Budget    float64    `json:"budget"`
+		CostModel string     `json:"cost_model"`
+		CostSpent float64    `json:"cost_spent"`
+		Shortcuts [][2]int32 `json:"shortcuts"`
+	}
+	if err := json.Unmarshal(praw, &pdoc); err != nil {
+		t.Fatal(err)
+	}
+	if pdoc.Budget != 2 || pdoc.CostModel != "length" {
+		t.Fatalf("placement JSON budget fields wrong: %+v", pdoc)
+	}
+	if pdoc.CostSpent <= 0 || pdoc.CostSpent > pdoc.Budget+1e-9 {
+		t.Fatalf("cost_spent %v out of (0, %v]", pdoc.CostSpent, pdoc.Budget)
+	}
+
+	// The telemetry run record carries the same triple and the stream passes
+	// the shared schema validator.
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.ValidateJSONL(f); err != nil {
+		f.Close()
+		t.Fatalf("budgeted trace fails schema validation: %v", err)
+	}
+	f.Close()
+	traw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotRun bool
+	for _, line := range strings.Split(strings.TrimSpace(string(traw)), "\n") {
+		var rec struct {
+			Event     string   `json:"event"`
+			Budget    *float64 `json:"budget"`
+			CostModel *string  `json:"cost_model"`
+			CostSpent *float64 `json:"cost_spent"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line not valid JSON: %v\n%s", err, line)
+		}
+		if rec.Event != "run" {
+			continue
+		}
+		gotRun = true
+		if rec.Budget == nil || rec.CostModel == nil || rec.CostSpent == nil {
+			t.Fatalf("run record missing budget fields: %s", line)
+		}
+		if *rec.Budget != 2 || *rec.CostModel != "length" {
+			t.Fatalf("run record budget = %v cost_model = %v, want 2 / length", *rec.Budget, *rec.CostModel)
+		}
+		if *rec.CostSpent != pdoc.CostSpent {
+			t.Fatalf("run record cost_spent %v != placement cost_spent %v", *rec.CostSpent, pdoc.CostSpent)
+		}
+	}
+	if !gotRun {
+		t.Fatal("no run record emitted for budgeted run")
+	}
+
+	// The same instance solved under -k uses the cardinality output format:
+	// the two modes are distinguishable at a glance.
+	plain := runTool(t, "mscplace", "-in", inst, "-alg", "sandwich")
+	if strings.Contains(plain, "budget spent") {
+		t.Fatalf("cardinality run leaked budget report:\n%s", plain)
+	}
+}
+
 // TestMscsweepEndToEnd drives the sweep orchestrator against real
 // binaries: a 2×2 matrix (two solvers × two seeds) generates instances,
 // fans mscplace across worker processes, and aggregates the kept JSONL

@@ -82,9 +82,11 @@ func run(ctx context.Context) (retErr error) {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		svg      = flag.String("svg", "", "directory to write fig1 SVG renderings into")
 		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (results are identical either way)")
+		budgetF  = flag.Float64("budget", 0, "knapsack budget B replacing the cardinality budget k on every instance; prices come from -cost-model (0 = cardinality placement)")
 		distB    = cli.AddDistBackendFlag(flag.CommandLine)
 		evalM    = cli.AddEvalModeFlag(flag.CommandLine)
 		survM    = cli.AddSurviveFlag(flag.CommandLine)
+		costM    = cli.AddCostModelFlag(flag.CommandLine)
 		jsonl    = flag.String("jsonl", "", "write machine-readable run records as JSON lines to this file")
 		validate = flag.String("validate", "", "validate a JSONL run-record file against the telemetry schema and exit")
 		version  = flag.Bool("version", false, "print version and exit")
@@ -115,6 +117,22 @@ func run(ctx context.Context) (retErr error) {
 		return err
 	}
 	core.SetDefaultSurvivability(survive)
+	costModel, err := core.ParseCostModel(*costM)
+	if err != nil {
+		return err
+	}
+	if costModel == core.CostTable {
+		// A per-candidate table needs one price vector per instance; the
+		// suite builds many instances, so only the shared models apply.
+		return fmt.Errorf(`-cost-model table needs a per-instance price table (use mscplace -cost-table); mscbench supports unit and length`)
+	}
+	if *budgetF != 0 {
+		if *budgetF < 0 {
+			return fmt.Errorf("-budget must be non-negative, got %v", *budgetF)
+		}
+		core.SetDefaultBudget(*budgetF)
+		core.SetDefaultCostModel(costModel)
+	}
 
 	ids, err := resolveIDs(*exp)
 	if err != nil {
@@ -185,6 +203,8 @@ func run(ctx context.Context) (retErr error) {
 				EvalMode:    *evalM,
 				Survive:     *survM,
 				Quick:       *quick,
+				Budget:      *budgetF,
+				CostModel:   benchCostModel(*budgetF, costModel),
 				Sigma:       -1,
 				SigmaWorst:  -1,
 				WallMS:      float64(elapsed.Nanoseconds()) / 1e6,
@@ -194,6 +214,18 @@ func run(ctx context.Context) (retErr error) {
 		fmt.Printf("[%s took %v]\n\n", id, elapsed.Round(time.Millisecond))
 	}
 	return nil
+}
+
+// benchCostModel names the cost model of a budgeted suite run ("" for
+// cardinality runs, the resolved model otherwise — auto prices unit).
+func benchCostModel(budget float64, m core.CostModel) string {
+	if budget == 0 {
+		return ""
+	}
+	if m == core.CostModelAuto {
+		m = core.CostUnit
+	}
+	return string(m)
 }
 
 // validateFile schema-checks a JSONL record file and prints the per-kind

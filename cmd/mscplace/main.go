@@ -47,6 +47,12 @@ type output struct {
 	// fault-free objective.
 	Survive    string `json:"survive,omitempty"`
 	SigmaWorst *int   `json:"sigma_worst,omitempty"`
+	// Budget, CostModel, and CostSpent report a budget-weighted run: the
+	// knapsack budget B, the cost model pricing the candidates, and the
+	// total price of the placement; omitted for cardinality runs.
+	Budget    float64 `json:"budget,omitempty"`
+	CostModel string  `json:"cost_model,omitempty"`
+	CostSpent float64 `json:"cost_spent,omitempty"`
 }
 
 func run(ctx context.Context) (retErr error) {
@@ -61,9 +67,12 @@ func run(ctx context.Context) (retErr error) {
 		report   = flag.Bool("report", false, "print a per-pair diagnostic table")
 		refine   = flag.Bool("refine", false, "apply local-search swap refinement to the placement")
 		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (placements are identical either way)")
+		budgetF  = flag.Float64("budget", 0, "knapsack budget B replacing the cardinality budget k; shortcut prices come from -cost-model (0 = cardinality placement)")
+		costTab  = flag.String("cost-table", "", "per-pair shortcut price table JSON for -cost-model table")
 		distB    = cli.AddDistBackendFlag(flag.CommandLine)
 		evalM    = cli.AddEvalModeFlag(flag.CommandLine)
 		survM    = cli.AddSurviveFlag(flag.CommandLine)
+		costM    = cli.AddCostModelFlag(flag.CommandLine)
 		jsonl    = flag.String("jsonl", "", "write per-round telemetry events and a run record as JSON lines to this file")
 		deadline = flag.Duration("deadline", 0, "wall-clock budget for the solver; on expiry the best-so-far placement is emitted (0 = none)")
 		ckpt     = flag.String("checkpoint", "", "write resumable run snapshots as JSON lines to this file (ea, aea)")
@@ -90,6 +99,17 @@ func run(ctx context.Context) (retErr error) {
 	survive, err := msc.ParseSurvivability(*survM)
 	if err != nil {
 		return err
+	}
+	costModel, err := msc.ParseCostModel(*costM)
+	if err != nil {
+		return err
+	}
+	budgeted := *budgetF != 0 || costModel != msc.CostModelAuto || *costTab != ""
+	if budgeted && *alg == "cn" {
+		return fmt.Errorf("-alg cn solves the cardinality common-node case; it does not support -budget")
+	}
+	if *costTab != "" && costModel != msc.CostModelAuto && costModel != msc.CostTable {
+		return fmt.Errorf("-cost-table conflicts with -cost-model %s", costModel)
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
@@ -162,6 +182,11 @@ func run(ctx context.Context) (retErr error) {
 	if *k > 0 {
 		budget = *k
 	}
+	if budget <= 0 && budgeted {
+		// Under -budget the knapsack budget B replaces cardinality k; the
+		// instance still validates k ≥ 1, so default it.
+		budget = 1
+	}
 	if budget <= 0 {
 		return fmt.Errorf("no shortcut budget: set one in the instance or pass -k")
 	}
@@ -172,9 +197,34 @@ func run(ctx context.Context) (retErr error) {
 	if threshold <= 0 {
 		return fmt.Errorf("no threshold: set one in the instance or pass -pt")
 	}
-	inst, err := msc.NewInstance(g, ps, msc.NewThreshold(threshold), budget,
-		&msc.InstanceOptions{AllowTrivial: true, DistBackend: backend, EvalMode: evalMode,
-			Parallelism: *par, Survive: survive})
+	instOpts := &msc.InstanceOptions{AllowTrivial: true, DistBackend: backend, EvalMode: evalMode,
+		Parallelism: *par, Survive: survive}
+	if budgeted {
+		instOpts.Budget = *budgetF
+		instOpts.CostModel = costModel
+		if *costTab != "" {
+			tf, err := os.Open(*costTab)
+			if err != nil {
+				return err
+			}
+			ct, err := msc.ReadCostTable(tf)
+			tf.Close()
+			if err != nil {
+				return err
+			}
+			// Expand the per-pair table into the dense per-candidate price
+			// vector the instance validates against its universe.
+			costs := make([]float64, msc.NumCandidatesFor(g.N()))
+			for u := int32(0); u < int32(g.N()); u++ {
+				for v := u + 1; v < int32(g.N()); v++ {
+					costs[msc.CandidateIndexFor(g.N(), msc.Edge{U: u, V: v})] = ct.Cost(u, v)
+				}
+			}
+			instOpts.Costs = costs
+			instOpts.CostModel = msc.CostTable
+		}
+	}
+	inst, err := msc.NewInstance(g, ps, msc.NewThreshold(threshold), budget, instOpts)
 	if err != nil {
 		return err
 	}
@@ -294,6 +344,10 @@ func run(ctx context.Context) (retErr error) {
 	if survivable {
 		declaredWorst = sigmaWorst(pl.Selection)
 	}
+	costSpent := 0.0
+	if budgeted {
+		costSpent = inst.CostOf(pl.Selection)
+	}
 	if sink != nil {
 		sink.Emit(msc.RunRecord{
 			ShardImbalance: obs.ShardImbalance.Snapshot().Sub(imbBefore).Mean(),
@@ -309,6 +363,9 @@ func run(ctx context.Context) (retErr error) {
 			Candidates:     inst.NumCandidates(),
 			K:              budget,
 			Pt:             threshold,
+			Budget:         inst.Budget(),
+			CostSpent:      costSpent,
+			CostModel:      string(inst.CostModel()),
 			Sigma:          pl.Sigma,
 			MaxSigma:       inst.MaxSigma(),
 			SigmaWorst:     declaredWorst,
@@ -334,7 +391,13 @@ func run(ctx context.Context) (retErr error) {
 		fmt.Printf("stopped:    %s after %d rounds (best-so-far placement follows)\n",
 			pl.Stop.Reason, pl.Stop.Rounds)
 	}
-	fmt.Printf("maintained: %d / %d pairs (p_t=%.3g, k=%d)\n", pl.Sigma, ps.Len(), threshold, budget)
+	if budgeted {
+		fmt.Printf("maintained: %d / %d pairs (p_t=%.3g, B=%g, cost model %s)\n",
+			pl.Sigma, ps.Len(), threshold, inst.Budget(), inst.CostModel())
+		fmt.Printf("cost:       %g / %g budget spent\n", costSpent, inst.Budget())
+	} else {
+		fmt.Printf("maintained: %d / %d pairs (p_t=%.3g, k=%d)\n", pl.Sigma, ps.Len(), threshold, budget)
+	}
 	if survivable {
 		fmt.Printf("worst-case: %d / %d pairs through any single %s failure\n",
 			declaredWorst, ps.Len(), inst.Survive())
@@ -362,6 +425,11 @@ func run(ctx context.Context) (retErr error) {
 		if survivable {
 			res.Survive = string(inst.Survive())
 			res.SigmaWorst = &declaredWorst
+		}
+		if budgeted {
+			res.Budget = inst.Budget()
+			res.CostModel = string(inst.CostModel())
+			res.CostSpent = costSpent
 		}
 		for _, e := range pl.Edges {
 			res.Shortcuts = append(res.Shortcuts, [2]int32{e.U, e.V})

@@ -42,6 +42,59 @@ func ExampleGreedySigmaCurve() {
 	// [0 2 3 4]
 }
 
+// ExampleWithSurvivability places links that keep a pair connected even
+// through the failure of any single placed shortcut: the survivable
+// objective makes the solver buy redundancy a fault-free run would skip.
+func ExampleWithSurvivability() {
+	// 0-1-2-3-4: each hop fails 20% of the time, so the long-range pairs
+	// violate the 30% bound without help.
+	b := msc.NewGraphBuilder(5)
+	for u := msc.NodeID(0); u < 4; u++ {
+		b.AddEdge(u, u+1, msc.LengthFromProb(0.2))
+	}
+	g, _ := b.Build()
+	ps, _ := msc.NewPairSet(5, []msc.Pair{{U: 0, W: 4}, {U: 0, W: 3}, {U: 1, W: 4}})
+
+	plain, _ := msc.NewInstance(g, ps, msc.NewThreshold(0.3), 2, nil)
+	hard, _ := msc.NewInstance(g, ps, msc.NewThreshold(0.3), 2,
+		msc.WithSurvivability(msc.SurviveShortcut))
+
+	// Fault-free greedy stops after one link; the survivable greedy buys a
+	// second, redundant one so a single link failure cannot cut the pairs.
+	pp := msc.GreedySigma(plain)
+	fmt.Printf("fault-free: %d link(s), pairs kept through a failure: %d/3\n",
+		len(pp.Edges), hard.SigmaWorst(pp.Selection))
+	hp := msc.GreedySigma(hard)
+	fmt.Printf("survivable: %d link(s), pairs kept through a failure: %d/3\n",
+		len(hp.Edges), hard.SigmaWorst(hp.Selection))
+	// Output:
+	// fault-free: 1 link(s), pairs kept through a failure: 0/3
+	// survivable: 2 link(s), pairs kept through a failure: 3/3
+}
+
+// ExampleGreedySigma_budget replaces the cardinality budget k with a
+// knapsack budget B: shortcuts are priced by the connectivity they bridge
+// (1 + D0/d_t under CostLength), so the solver weighs cheap nearby links
+// against expensive long-haul ones.
+func ExampleGreedySigma_budget() {
+	// A lossy chain 0-1-2-3-4-5; three pairs of increasing span violate
+	// the bound.
+	b := msc.NewGraphBuilder(6)
+	for u := msc.NodeID(0); u < 5; u++ {
+		b.AddEdge(u, u+1, msc.LengthFromProb(0.15))
+	}
+	g, _ := b.Build()
+	ps, _ := msc.NewPairSet(6, []msc.Pair{{U: 0, W: 2}, {U: 3, W: 5}, {U: 0, W: 5}})
+	inst, _ := msc.NewInstance(g, ps, msc.NewThreshold(0.2), 1,
+		msc.WithBudget(3.5, msc.CostLength))
+
+	pl := msc.GreedySigma(inst)
+	fmt.Printf("maintained %d/3 pairs with %d link(s), spent %.2f of B=%.1f\n",
+		pl.Sigma, len(pl.Edges), inst.CostOf(pl.Selection), inst.Budget())
+	// Output:
+	// maintained 2/3 pairs with 2 link(s), spent 3.46 of B=3.5
+}
+
 // ExampleSolveCommonNode handles the special case where every important
 // pair shares a node (a control center), which reduces to max coverage
 // with a (1−1/e) guarantee.

@@ -103,6 +103,15 @@ func AddSurviveFlag(fs *flag.FlagSet) *string {
 		"survivability mode: auto|none|shortcut|node (shortcut/node optimize the worst-case σ⁻ over all single shortcut or node failures, breaking ties by fault-free σ)")
 }
 
+// AddCostModelFlag registers the -cost-model flag shared by the
+// budget-aware commands and returns the pointer receiving its value after
+// fs.Parse. Values stay plain strings here and are validated by the
+// command via msc.ParseCostModel / core.ParseCostModel.
+func AddCostModelFlag(fs *flag.FlagSet) *string {
+	return fs.String("cost-model", "auto",
+		"shortcut cost model for -budget runs: auto|unit|length|table (unit prices every shortcut at 1; length prices by bridged distance; table reads per-pair prices from -cost-table)")
+}
+
 // Profile carries the three profiling flag values registered by
 // AddProfileFlags. The zero value (no flags set) is a no-op profile.
 type Profile struct {

@@ -87,12 +87,20 @@ type aeaSol struct {
 // exploring the plateau — the AEADelta ablation bench quantifies the
 // difference. When every addition has zero gain, every candidate is an
 // argmax and AEA draws one uniformly from the absent candidates.
+//
+// On a budgeted problem AEA searches the budget-feasible region instead of
+// |F| = k: the seed is a random affordable fill, and both swap flavors
+// restrict the incoming candidate to those fitting the budget freed by the
+// drop (skipping the add when nothing fits). Under unit costs with B = k
+// the draw sequence matches the cardinality run exactly whenever the seed
+// fill takes SampleDistinct's rejection branch (k·3 < N).
 func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 	if opts.PopSize < 1 {
 		opts.PopSize = 1
 	}
 	workers := ResolveParallelism(opts.Parallelism)
 	numCand := p.NumCandidates()
+	bp, _ := asBudgeted(p) // nil on cardinality problems
 	k := p.K()
 	if k > numCand {
 		k = numCand
@@ -113,9 +121,14 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 		best = aeaSol{sel: append([]int(nil), cp.Best.Selection...), sigma: cp.Best.Sigma}
 		startIter = cp.Round
 	} else {
-		seed := rng.SampleDistinct(numCand, k)
+		var seed []int
+		if bp != nil {
+			seed = affordableFill(bp, rng)
+		} else {
+			seed = rng.SampleDistinct(numCand, k)
+		}
 		if opts.SeedGreedy {
-			seed = greedySeed(p, k, numCand, rng, workers)
+			seed = greedySeed(p, bp, k, numCand, rng, workers)
 		}
 		pop = []aeaSol{{sel: seed, sigma: SigmaOf(p, seed, workers)}}
 		best = pop[0]
@@ -158,7 +171,7 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 			start = time.Now()
 		}
 		parent := pop[rng.Intn(len(pop))]
-		child := deriveChild(p, parent, opts.Delta, rng, workers)
+		child := deriveChild(p, bp, parent, opts.Delta, rng, workers)
 		if child.sigma > best.sigma {
 			best = child
 		}
@@ -202,10 +215,22 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 	return res
 }
 
-// greedySeed starts from the greedy-σ placement and tops it up to k with
-// random extras so the swap moves operate on a full budget.
-func greedySeed(p Problem, k, numCand int, rng *xrand.Rand, workers int) []int {
+// greedySeed starts from the greedy-σ placement and tops it up with random
+// extras so the swap moves operate on a full budget: to k shortcuts on
+// cardinality problems, to budget exhaustion on budgeted ones (bp != nil).
+func greedySeed(p Problem, bp BudgetProblem, k, numCand int, rng *xrand.Rand, workers int) []int {
 	seed := GreedySigma(p, Parallelism(workers)).Selection
+	if bp != nil {
+		rem := bp.Budget() - bp.CostOf(seed)
+		for {
+			if c := randomAbsentSelAffordable(seed, bp, rem, numCand, rng); c >= 0 {
+				seed = append(seed, c)
+				rem -= bp.Cost(c)
+				continue
+			}
+			return seed
+		}
+	}
 	for len(seed) < k {
 		c := rng.Intn(numCand)
 		dup := false
@@ -225,8 +250,10 @@ func greedySeed(p Problem, k, numCand int, rng *xrand.Rand, workers int) []int {
 // deriveChild produces a new feasible solution from parent via one swap.
 // The greedy swap's drop and add scans shard across the given workers; the
 // rng consumes draws only from fully reduced scan results, so the child is
-// identical for every worker count.
-func deriveChild(p Problem, parent aeaSol, delta float64, rng *xrand.Rand, workers int) aeaSol {
+// identical for every worker count. On budgeted problems (bp != nil) the
+// incoming candidate must fit the budget headroom after the drop; when
+// nothing fits the swap degenerates to a pure drop.
+func deriveChild(p Problem, bp BudgetProblem, parent aeaSol, delta float64, rng *xrand.Rand, workers int) aeaSol {
 	numCand := p.NumCandidates()
 	if numCand == 0 {
 		// Degenerate universe: nothing to swap in (and randomAbsent would
@@ -241,6 +268,17 @@ func deriveChild(p Problem, parent aeaSol, delta float64, rng *xrand.Rand, worke
 		if s.Len() > 0 {
 			s.RemoveAt(randomBestDrop(s, rng))
 		}
+		if bp != nil {
+			rem := bp.Budget() - bp.CostOf(s.Selection())
+			cand := randomBestAddBudget(s, bp, rem, rng)
+			if cand < 0 {
+				cand = randomAbsentAffordable(s, bp, rem, numCand, rng)
+			}
+			if cand >= 0 {
+				s.Add(cand)
+			}
+			return aeaSol{sel: s.Selection(), sigma: s.Sigma()}
+		}
 		cand := randomBestAdd(s, rng)
 		if cand < 0 {
 			cand = randomAbsent(s, numCand, rng)
@@ -254,6 +292,13 @@ func deriveChild(p Problem, parent aeaSol, delta float64, rng *xrand.Rand, worke
 		i := rng.Intn(len(child))
 		child[i] = child[len(child)-1]
 		child = child[:len(child)-1]
+	}
+	if bp != nil {
+		rem := bp.Budget() - bp.CostOf(child)
+		if c := randomAbsentSelAffordable(child, bp, rem, numCand, rng); c >= 0 {
+			child = append(child, c)
+		}
+		return aeaSol{sel: child, sigma: SigmaOf(p, child, workers)}
 	}
 	child = append(child, randomAbsentSel(child, numCand, rng))
 	return aeaSol{sel: child, sigma: SigmaOf(p, child, workers)}
@@ -316,6 +361,92 @@ func randomAbsent(s Search, numCand int, rng *xrand.Rand) int {
 	for {
 		c := rng.Intn(numCand)
 		if !s.Contains(c) {
+			return c
+		}
+	}
+}
+
+// randomBestAddBudget is randomBestAdd restricted to candidates affordable
+// within rem. Under unit costs with full headroom every candidate is
+// affordable and the draw sequence matches randomBestAdd exactly.
+func randomBestAddBudget(s Search, bp BudgetProblem, rem float64, rng *xrand.Rand) int {
+	gains := s.GainsAdd()
+	bestGain := 0
+	count := 0
+	for c, g := range gains {
+		if bp.Cost(c) > rem {
+			continue
+		}
+		switch {
+		case g > bestGain:
+			bestGain = g
+			count = 1
+		case g == bestGain && g > 0:
+			count++
+		}
+	}
+	if bestGain <= 0 {
+		return -1
+	}
+	j := rng.Intn(count)
+	for c, g := range gains {
+		if g == bestGain && bp.Cost(c) <= rem {
+			if j == 0 {
+				return c
+			}
+			j--
+		}
+	}
+	return -1 // unreachable
+}
+
+// randomAbsentAffordable draws a uniform candidate that is absent from the
+// search's selection and affordable within rem, or -1 when none exists (the
+// existence scan consumes no rng draws, preserving unit-cost parity with
+// randomAbsent).
+func randomAbsentAffordable(s Search, bp BudgetProblem, rem float64, numCand int, rng *xrand.Rand) int {
+	exists := false
+	for c := 0; c < numCand; c++ {
+		if !s.Contains(c) && bp.Cost(c) <= rem {
+			exists = true
+			break
+		}
+	}
+	if !exists {
+		return -1
+	}
+	for {
+		c := rng.Intn(numCand)
+		if !s.Contains(c) && bp.Cost(c) <= rem {
+			return c
+		}
+	}
+}
+
+// randomAbsentSelAffordable is randomAbsentAffordable over a plain selection
+// slice.
+func randomAbsentSelAffordable(sel []int, bp BudgetProblem, rem float64, numCand int, rng *xrand.Rand) int {
+	contains := func(c int) bool {
+		for _, x := range sel {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	exists := false
+	for c := 0; c < numCand; c++ {
+		if !contains(c) && bp.Cost(c) <= rem {
+			exists = true
+			break
+		}
+	}
+	if !exists {
+		return -1
+	}
+	for {
+		c := rng.Intn(numCand)
+		if !contains(c) && bp.Cost(c) <= rem {
 			return c
 		}
 	}

@@ -64,9 +64,13 @@ type EAOptions struct {
 }
 
 // eaSol is one archive member: a solution with cached objective values.
+// cost is the second Pareto axis: CostOf(sel) on budgeted problems, |sel|
+// otherwise (as a float, so the two cases share the comparison code; small
+// integer counts are exact in float64).
 type eaSol struct {
 	sel   []int // sorted candidate indices
 	sigma int
+	cost  float64
 }
 
 // EA is the evolutionary algorithm of §V-C (Algorithm 1): a GSEMO-style
@@ -80,11 +84,27 @@ type eaSol struct {
 // Theorems 6 and 7 bound the expected iterations to reach a
 // near-(1−1/e)-approximate feasible solution by O(n²k), with a slack term
 // measuring how far σ is from submodular.
+//
+// On a budgeted problem the second Pareto axis is the selection's cost
+// instead of its size, and the answer is the best archive member with
+// CostOf(F) ≤ B. Mutation, selection, and every RNG draw are unchanged, so
+// unit-cost runs with B = k are bit-for-bit identical to cardinality runs.
 func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 	numCand := p.NumCandidates()
 	workers := ResolveParallelism(opts.Parallelism)
 	ctx, cancel := superviseCtx(opts.Context, opts.Deadline)
 	defer cancel()
+	bp, budgeted := asBudgeted(p)
+	solCost := func(sel []int) float64 {
+		if budgeted {
+			return bp.CostOf(sel)
+		}
+		return float64(len(sel))
+	}
+	feasLimit := float64(p.K())
+	if budgeted {
+		feasLimit = bp.Budget()
+	}
 	res := EAResult{}
 	var pop []eaSol
 	var bestFeasible eaSol
@@ -94,9 +114,11 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 		restoreRNG(rng, cp)
 		pop = make([]eaSol, len(cp.Population))
 		for i, s := range cp.Population {
-			pop[i] = eaSol{sel: append([]int(nil), s.Selection...), sigma: s.Sigma}
+			sel := append([]int(nil), s.Selection...)
+			pop[i] = eaSol{sel: sel, sigma: s.Sigma, cost: solCost(sel)}
 		}
-		bestFeasible = eaSol{sel: append([]int(nil), cp.Best.Selection...), sigma: cp.Best.Sigma}
+		best := append([]int(nil), cp.Best.Selection...)
+		bestFeasible = eaSol{sel: best, sigma: cp.Best.Sigma, cost: solCost(best)}
 		res.Evaluations = cp.Evaluations
 		startIter = cp.Round
 	} else {
@@ -145,10 +167,11 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 		parent := pop[rng.Intn(len(pop))]
 		child := mutate(parent.sel, numCand, flipProb, rng)
 		childSigma := SigmaOf(p, child, workers)
+		childCost := solCost(child)
 		res.Evaluations++
-		insertPareto(&pop, eaSol{sel: child, sigma: childSigma})
-		if len(child) <= p.K() && betterFeasible(childSigma, child, bestFeasible) {
-			bestFeasible = eaSol{sel: child, sigma: childSigma}
+		insertPareto(&pop, eaSol{sel: child, sigma: childSigma, cost: childCost})
+		if childCost <= feasLimit && betterFeasible(childSigma, childCost, bestFeasible) {
+			bestFeasible = eaSol{sel: child, sigma: childSigma, cost: childCost}
 		}
 		stop.Rounds = iter + 1
 		if opts.RecordTrace {
@@ -182,11 +205,11 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 	return res
 }
 
-func betterFeasible(sigma int, sel []int, cur eaSol) bool {
+func betterFeasible(sigma int, cost float64, cur eaSol) bool {
 	if sigma != cur.sigma {
 		return sigma > cur.sigma
 	}
-	return len(sel) < len(cur.sel)
+	return cost < cur.cost
 }
 
 // mutate flips each of the numCand membership bits with probability
@@ -216,18 +239,19 @@ func mutate(parent []int, numCand int, flipProb float64, rng *xrand.Rand) []int 
 	return child
 }
 
-// insertPareto maintains the (σ, −|F|) Pareto archive: the child is
-// discarded when some member weakly dominates it; otherwise it joins and
-// every member it weakly dominates leaves.
+// insertPareto maintains the (σ, −cost) Pareto archive (cost is |F| on
+// cardinality problems): the child is discarded when some member weakly
+// dominates it; otherwise it joins and every member it weakly dominates
+// leaves.
 func insertPareto(pop *[]eaSol, child eaSol) {
 	for _, s := range *pop {
-		if s.sigma >= child.sigma && len(s.sel) <= len(child.sel) {
+		if s.sigma >= child.sigma && s.cost <= child.cost {
 			return // weakly dominated (covers exact duplicates too)
 		}
 	}
 	kept := (*pop)[:0]
 	for _, s := range *pop {
-		if child.sigma >= s.sigma && len(child.sel) <= len(s.sel) {
+		if child.sigma >= s.sigma && child.cost <= s.cost {
 			continue // child dominates s
 		}
 		kept = append(kept, s)

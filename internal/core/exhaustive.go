@@ -34,6 +34,9 @@ var ErrTooLarge = errors.New("core: exhaustive search space too large")
 func Exhaustive(p Problem, maxEvals int, opts ...Option) (Placement, error) {
 	cfg := resolveConfig(opts)
 	defer cfg.release()
+	if _, ok := asBudgeted(p); ok {
+		return Placement{}, &InputError{Param: "budget", Reason: "problem is budgeted; use ExhaustiveBudget"}
+	}
 	numCand := p.NumCandidates()
 	if maxEvals < 1 {
 		return Placement{}, &InputError{Param: "maxEvals", Value: maxEvals, Reason: "must be at least 1"}
@@ -124,6 +127,146 @@ func Exhaustive(p Problem, maxEvals int, opts ...Option) (Placement, error) {
 		winner.sel = []int{}
 	}
 	return finish(winner.sel)
+}
+
+// ExhaustiveBudget computes the exact optimal budget-feasible placement by
+// enumerating every selection whose total cost fits the budget — the
+// brute-force reference the budgeted solvers are verified against. It
+// rejects non-budgeted problems and maxEvals < 1 with a typed *InputError;
+// maxEvals caps the number of σ evaluations, counted in a cheap pre-pass
+// (ErrTooLarge beyond it).
+//
+// σ is monotone, but unlike the cardinality case no single selection size
+// dominates, so the enumeration visits every feasible subset — the empty
+// one first, then depth-first in lexicographic prefix order ({0}, {0,1},
+// {0,1,2}, …). A budget of 0 admits only the empty placement.
+//
+// With Parallelism > 1 the enumeration is residue-strided exactly like
+// Exhaustive: every worker walks the (cheap, evaluation-free) feasibility
+// tree but evaluates only subsets whose enumeration index falls in its
+// residue class, and the per-worker bests reduce serially — highest σ,
+// ties toward the lowest enumeration index — matching the serial
+// first-strictly-better loop for every worker count.
+//
+// With WithContext/WithDeadline attached, cancellation returns the best
+// placement among the subsets evaluated so far with Stop.Reason reporting
+// why; a full enumeration reports StopConverged — the returned placement
+// is exact.
+func ExhaustiveBudget(p Problem, maxEvals int, opts ...Option) (Placement, error) {
+	cfg := resolveConfig(opts)
+	defer cfg.release()
+	bp, ok := asBudgeted(p)
+	if !ok {
+		return Placement{}, &InputError{Param: "budget", Reason: "problem is not budgeted; use Exhaustive"}
+	}
+	if maxEvals < 1 {
+		return Placement{}, &InputError{Param: "maxEvals", Value: maxEvals, Reason: "must be at least 1"}
+	}
+	numCand := p.NumCandidates()
+	total := 0
+	walkBudget(bp, numCand, func(sel []int, index int) bool {
+		total++
+		return total <= maxEvals
+	})
+	if total > maxEvals {
+		return Placement{}, ErrTooLarge
+	}
+	stop := StopInfo{Reason: StopConverged}
+	finish := func(sel []int) (Placement, error) {
+		pl := newPlacement(p, sel)
+		stop.Sigma = pl.Sigma
+		pl.Stop = stop
+		return pl, nil
+	}
+	if cfg.workers <= 1 {
+		bestSel := []int{}
+		bestSigma := -1
+		walkBudget(bp, numCand, func(sel []int, index int) bool {
+			if err := cfg.err(); err != nil {
+				stop.Reason = stopReasonFor(err)
+				return false
+			}
+			if sigma := p.Sigma(sel); sigma > bestSigma {
+				bestSigma = sigma
+				bestSel = append([]int(nil), sel...)
+			}
+			stop.Rounds++
+			return true
+		})
+		return finish(bestSel)
+	}
+	type exhBest struct {
+		sel   []int
+		sigma int
+		index int
+		evals int
+	}
+	bests := make([]exhBest, cfg.workers)
+	ParallelFor(cfg.workers, cfg.workers, func(shard, _, _ int) {
+		best := exhBest{sigma: -1, index: -1}
+		walkBudget(bp, numCand, func(sel []int, index int) bool {
+			if index%cfg.workers != shard {
+				return true
+			}
+			if cfg.err() != nil {
+				return false
+			}
+			if sigma := p.Sigma(sel); sigma > best.sigma {
+				best = exhBest{sel: append([]int(nil), sel...), sigma: sigma, index: index, evals: best.evals}
+			}
+			best.evals++
+			return true
+		})
+		bests[shard] = best
+	})
+	if err := cfg.err(); err != nil {
+		stop.Reason = stopReasonFor(err)
+	}
+	winner := bests[0]
+	stop.Rounds = bests[0].evals
+	for _, b := range bests[1:] {
+		stop.Rounds += b.evals
+		if b.sigma > winner.sigma || (b.sigma == winner.sigma && b.index < winner.index) {
+			winner = b
+		}
+	}
+	if winner.sel == nil { // canceled before any shard evaluated
+		winner.sel = []int{}
+	}
+	return finish(winner.sel)
+}
+
+// walkBudget visits every budget-feasible selection of distinct candidates
+// — the empty one first, then depth-first in lexicographic prefix order —
+// calling visit with the current selection (scratch: valid only during the
+// call) and its enumeration index. visit returns false to stop the walk.
+// Candidate costs are positive, so the tree is finite.
+func walkBudget(bp BudgetProblem, numCand int, visit func(sel []int, index int) bool) {
+	sel := make([]int, 0, numCand)
+	index := 0
+	if !visit(sel, index) {
+		return
+	}
+	var rec func(start int, rem float64) bool
+	rec = func(start int, rem float64) bool {
+		for c := start; c < numCand; c++ {
+			cost := bp.Cost(c)
+			if cost > rem {
+				continue
+			}
+			sel = append(sel, c)
+			index++
+			if !visit(sel, index) {
+				return false
+			}
+			if !rec(c+1, rem-cost) {
+				return false
+			}
+			sel = sel[:len(sel)-1]
+		}
+		return true
+	}
+	rec(0, bp.Budget())
 }
 
 // nextCombination advances sel to the next k-combination of [0, n) in

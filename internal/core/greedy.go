@@ -5,6 +5,7 @@ import (
 
 	"msc/internal/maxcover"
 	"msc/internal/obs"
+	"msc/internal/submodular"
 	"msc/internal/telemetry"
 )
 
@@ -29,9 +30,20 @@ import (
 // after the round, the scan width, and the per-shard wall-time extrema of
 // the candidate scan. Tracing reads solver state but never influences it,
 // so the placement is identical with and without a sink.
+// On a budgeted problem (BudgetProblem with Budgeted() == true) the greedy
+// switches to cost-benefit ratio form: each round adds the affordable
+// candidate maximizing gain/cost (ties toward the larger gain, then the
+// lowest index), and the result is the better of that prefix and the best
+// affordable single candidate — the standard knapsack-greedy fallback
+// (see submodular.WeightedGreedy for why the fallback is load-bearing).
+// Under unit costs with B = k the budgeted run reproduces the cardinality
+// run bit for bit.
 func GreedySigma(p Problem, opts ...Option) Placement {
 	cfg := resolveConfig(opts)
 	defer cfg.release()
+	if bp, ok := asBudgeted(p); ok {
+		return greedySigmaBudget(bp, cfg)
+	}
 	s := p.NewSearch(nil)
 	setSearchWorkers(s, cfg.workers)
 	setSearchContext(s, cfg.ctx)
@@ -119,19 +131,137 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 	return finish()
 }
 
+// greedySigmaBudget is the budgeted GreedySigma loop. The per-round gains
+// scan still shards across the configured workers through Search.GainsAdd,
+// so placements stay identical at every worker count; with a sink attached
+// it emits the same greedy_sigma RoundEvents as the cardinality loop.
+func greedySigmaBudget(bp BudgetProblem, cfg solveConfig) Placement {
+	s := bp.NewSearch(nil)
+	setSearchWorkers(s, cfg.workers)
+	setSearchContext(s, cfg.ctx)
+	stop := StopInfo{Reason: StopConverged}
+	obsOn := obs.Enabled()
+	if obsOn || cfg.sink != nil {
+		enableScanTiming(s)
+	}
+	budget := bp.Budget()
+	rem := budget
+	singleCand, singleGain := -1, 0
+	for round := 0; ; round++ {
+		var start time.Time
+		if obsOn || cfg.sink != nil {
+			start = time.Now()
+		}
+		gains := s.GainsAdd()
+		// As in the cardinality loop, the supervision check sits BEFORE
+		// committing the round: a canceled scan's partial gains are
+		// discarded.
+		if err := cfg.err(); err != nil {
+			stop.Reason = stopReasonFor(err)
+			break
+		}
+		bestC, bestGain := -1, 0
+		bestCost := 0.0
+		// Like BestAdd, the scan does not exclude already-selected
+		// candidates: plain σ gives them zero gain, and survivable
+		// problems legitimately re-pick duplicates (each physical link is
+		// charged its cost again).
+		for c, g := range gains {
+			if g <= 0 {
+				continue
+			}
+			cost := bp.Cost(c)
+			if round == 0 && cost <= budget && g > singleGain {
+				singleCand, singleGain = c, g
+			}
+			if cost > rem {
+				continue
+			}
+			if bestC < 0 {
+				bestC, bestGain, bestCost = c, g, cost
+				continue
+			}
+			// gain/cost ratio argmax, cross-multiplied; ties toward the
+			// larger gain, then the lower index (the scan order).
+			l, r := float64(g)*bestCost, float64(bestGain)*cost
+			if l > r || (l == r && g > bestGain) {
+				bestC, bestGain, bestCost = c, g, cost
+			}
+		}
+		if bestC < 0 {
+			break
+		}
+		s.Add(bestC)
+		rem -= bestCost
+		stop.Rounds++
+		if obsOn {
+			obs.ObserveRound(time.Since(start))
+		}
+		if cfg.sink != nil {
+			sel := s.Selection()
+			e := bp.CandidateEdge(bestC)
+			minNS, maxNS, shards := lastScanShards(s)
+			rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped := lastEvalStats(s)
+			sigma, sigmaWorst := sigmaParts(s)
+			cfg.sink.Emit(telemetry.RoundEvent{
+				Algorithm:      "greedy_sigma",
+				Round:          round,
+				Shortcut:       &[2]int32{int32(e.U), int32(e.V)},
+				Gain:           bestGain,
+				Sigma:          sigma,
+				SigmaWorst:     sigmaWorst,
+				Selected:       len(sel),
+				Candidates:     bp.NumCandidates(),
+				Mu:             bp.Mu(sel),
+				Nu:             bp.Nu(sel),
+				ElapsedNS:      time.Since(start).Nanoseconds(),
+				ShardMinNS:     minNS,
+				ShardMaxNS:     maxNS,
+				Shards:         shards,
+				RowsMerged:     rowsMerged,
+				RowsUnchanged:  rowsUnchanged,
+				PairsRescanned: pairsRescanned,
+				PairsSkipped:   pairsSkipped,
+			})
+		}
+	}
+	sel := s.Selection()
+	// Best-single-item fallback: σ is monotone, so under unit costs the
+	// prefix contains the fallback singleton and always wins the tie.
+	if singleCand >= 0 && stop.Reason == StopConverged {
+		if single := []int{singleCand}; problemValue(bp, single) > problemValue(bp, sel) {
+			sel = single
+		}
+	}
+	pl := newPlacement(bp, sel)
+	stop.Sigma = pl.Sigma
+	pl.Stop = stop
+	return pl
+}
+
 // GreedyMu greedily maximizes the submodular lower bound μ (§V-B1) via its
 // max-coverage form, then reports the true σ of the resulting placement.
 // As a monotone submodular maximization, the selection is a (1−1/e)
-// approximation of the best possible μ.
+// approximation of the best possible μ; on budgeted problems it runs the
+// weighted-greedy knapsack form instead (½(1−1/e) for μ).
 func GreedyMu(p Problem) Placement {
+	if bp, ok := asBudgeted(p); ok {
+		mp := bp.MuProblem()
+		return newPlacement(p, submodular.WeightedGreedy(len(mp.Sets), bp.Budget(), bp.Cost, maxcover.NewOracle(mp)))
+	}
 	res := maxcover.LazyGreedy(p.MuProblem())
 	return newPlacement(p, res.Chosen)
 }
 
 // GreedyNu greedily maximizes the submodular upper bound ν (§V-B2) via its
 // weighted max-coverage form, then reports the true σ of the resulting
-// placement.
+// placement. On budgeted problems it runs the weighted-greedy knapsack
+// form.
 func GreedyNu(p Problem) Placement {
+	if bp, ok := asBudgeted(p); ok {
+		np := bp.NuProblem()
+		return newPlacement(p, submodular.WeightedGreedy(len(np.Sets), bp.Budget(), bp.Cost, maxcover.NewOracle(np)))
+	}
 	res := maxcover.LazyGreedy(p.NuProblem())
 	return newPlacement(p, res.Chosen)
 }

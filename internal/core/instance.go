@@ -142,6 +142,15 @@ type Instance struct {
 	// keeps the paper's fault-free objective (survive.go).
 	survive Survivability
 
+	// Budgeted placement (cost.go): when budgeted is set, the knapsack
+	// budget B under costModel replaces the cardinality budget k. costs is
+	// the per-candidate price table (nil under CostUnit: every price is 1).
+	budgeted  bool
+	budget    float64
+	costModel CostModel
+	costOnce  sync.Once
+	costs     []float64
+
 	// Lazily-built per-node failure scenario instances (SurviveNode):
 	// nodeInsts[v] is this instance on G−v, nodeVac[v] the constant weight
 	// of pairs incident to v. Guarded like the other lazy structures.
@@ -224,6 +233,24 @@ type Options struct {
 	// rule out; this option reproduces their regime. Incompatible with
 	// SolveCommonNode (whose shortcuts are incident to a pair node).
 	ExcludePairEndpoints bool
+	// Budget, when set (or when CostModel/Costs is set), switches the
+	// instance to budgeted placement: the knapsack budget B replaces the
+	// cardinality budget k, and solvers charge each shortcut its CostModel
+	// price. B = 0 is legal and admits only the empty placement. Negative,
+	// NaN, or infinite budgets are rejected with a typed *InputError. The
+	// zero value with no other budget option resolves via SetDefaultBudget
+	// (0 keeps cardinality placement).
+	Budget float64
+	// CostModel prices candidates on budgeted instances: CostUnit (1 per
+	// shortcut, so B = k reproduces cardinality placement bit for bit),
+	// CostLength (1 + D0(a,b)/d_t), or CostTable (explicit Costs). The
+	// zero value resolves via SetDefaultCostModel.
+	CostModel CostModel
+	// Costs supplies the per-candidate price table for CostTable, one
+	// positive entry per candidate index (+Inf marks an unaffordable
+	// candidate; NaN and non-positive prices are rejected with a typed
+	// *InputError). Setting Costs with CostModelAuto implies CostTable.
+	Costs []float64
 	// PairWeights assigns an integer importance level ≥ 1 to each pair
 	// (one entry per pair, in pair-set order); σ becomes the total weight
 	// of maintained pairs. Nil means every pair weighs 1 (the paper's
@@ -299,6 +326,9 @@ func NewInstance(g *graph.Graph, ps *pairs.Set, thr failprob.Threshold, k int, o
 		}
 	}
 	inst.numCand = len(inst.candNodes) * (len(inst.candNodes) - 1) / 2
+	if err := inst.initBudget(opts); err != nil {
+		return nil, err
+	}
 	inst.weights = make([]int32, ps.Len())
 	if opts != nil && opts.PairWeights != nil {
 		if len(opts.PairWeights) != ps.Len() {
@@ -434,6 +464,17 @@ func candidateIndex(n int, e graph.Edge) int {
 
 // rowStart returns the number of unordered pairs (a,b), a<b, with a < u.
 func rowStart(n, u int) int { return u*n - u*(u+1)/2 }
+
+// NumCandidatesFor returns the candidate-universe size of an n-node
+// instance with the unrestricted universe: n(n−1)/2.
+func NumCandidatesFor(n int) int { return n * (n - 1) / 2 }
+
+// CandidateIndexFor maps an edge to its dense candidate index in the
+// unrestricted universe of an n-node instance, without an instance in hand
+// (e.g. to build Options.Costs from a graphio cost table before
+// NewInstance runs). It panics on out-of-range endpoints, like
+// Instance.CandidateIndex.
+func CandidateIndexFor(n int, e graph.Edge) int { return candidateIndex(n, e) }
 
 // SelectionEdges converts candidate indices to edges.
 func SelectionEdges(p Problem, sel []int) []graph.Edge {

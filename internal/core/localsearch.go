@@ -39,11 +39,17 @@ type LocalSearchOptions struct {
 //
 // Cost per round: |F| σ-drops plus |F| full candidate scans, i.e.
 // O(|F|·(N·m + rebuild)).
+//
+// On a budgeted problem each swap additionally checks budget feasibility:
+// the incoming shortcut must fit the headroom freed by the dropped one
+// (parBestSwapBudget), so a budget-feasible start stays feasible through
+// every round.
 func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 	maxIters := opts.MaxIters
 	if maxIters <= 0 {
 		maxIters = 100
 	}
+	bp, budgeted := asBudgeted(p)
 	workers := ResolveParallelism(opts.Parallelism)
 	ctx, cancel := superviseCtx(opts.Context, opts.Deadline)
 	defer cancel()
@@ -60,7 +66,12 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 		// position, a private search without it scans the best addition;
 		// positions shard across workers (see ParBestSwap).
 		prevSigma := s.Sigma()
-		bestDrop, bestAdd, _ := ParBestSwap(p, cur, prevSigma, workers)
+		var bestDrop, bestAdd int
+		if budgeted {
+			bestDrop, bestAdd, _ = parBestSwapBudget(bp, cur, prevSigma, workers)
+		} else {
+			bestDrop, bestAdd, _ = ParBestSwap(p, cur, prevSigma, workers)
+		}
 		// Supervision before committing the swap: a canceled scan's result
 		// is discarded and the refinement so far returned.
 		if err := ctxErr(ctx); err != nil {

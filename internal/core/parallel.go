@@ -344,6 +344,65 @@ func ParBestSwap(p Problem, sel []int, curSigma, workers int) (drop, add, sigma 
 	return out.drop, out.add, out.sigma
 }
 
+// parBestSwapBudget is ParBestSwap under a knapsack budget: a swap is
+// admissible only when the incoming candidate fits the headroom freed by
+// the dropped one, B − CostOf(sel) + Cost(sel[pos]). The add scan is
+// BestAdd's unconditional argmax (ties toward the lowest index, any gain
+// sign — the σ > curSigma filter below rejects non-improving swaps)
+// restricted to affordable candidates, so under unit costs with B = k it
+// reproduces ParBestSwap exactly. Sharding and reduction are identical to
+// ParBestSwap.
+func parBestSwapBudget(bp BudgetProblem, sel []int, curSigma, workers int) (drop, add, sigma int) {
+	if len(sel) == 0 {
+		return -1, -1, curSigma
+	}
+	inner := workers / len(sel)
+	if inner < 1 {
+		inner = 1
+	}
+	spent := bp.CostOf(sel)
+	type swapBest struct {
+		drop, add, sigma int
+	}
+	shards := workers
+	if shards > len(sel) {
+		shards = len(sel)
+	}
+	bests := make([]swapBest, shards)
+	ParallelFor(workers, len(sel), func(shard, lo, hi int) {
+		best := swapBest{drop: -1, add: -1, sigma: curSigma}
+		rest := make([]int, 0, len(sel)-1)
+		for pos := lo; pos < hi; pos++ {
+			rest = append(rest[:0], sel[:pos]...)
+			rest = append(rest, sel[pos+1:]...)
+			rem := bp.Budget() - spent + bp.Cost(sel[pos])
+			sub := bp.NewSearch(rest)
+			setSearchWorkers(sub, inner)
+			gains := sub.GainsAdd()
+			cand, gain := -1, 0
+			for c, g := range gains {
+				if bp.Cost(c) <= rem && (cand < 0 || g > gain) {
+					cand, gain = c, g
+				}
+			}
+			if cand < 0 {
+				continue // no affordable candidate to swap in
+			}
+			if sigma := sub.Sigma() + gain; sigma > best.sigma {
+				best = swapBest{drop: pos, add: cand, sigma: sigma}
+			}
+		}
+		bests[shard] = best
+	})
+	out := swapBest{drop: -1, add: -1, sigma: curSigma}
+	for _, b := range bests[:shards] {
+		if b.sigma > out.sigma {
+			out = b
+		}
+	}
+	return out.drop, out.add, out.sigma
+}
+
 // triRowBounds splits the rows of the upper-triangular candidate grid over
 // t nodes (row ai holds the t−1−ai cells with first endpoint ai) into at
 // most `workers` contiguous row ranges of roughly equal cell count.

@@ -22,6 +22,11 @@ import (
 // placement among the trials evaluated so far, with Stop.Reason reporting
 // why; an uncancelled run completes all trials (Stop.Reason ==
 // StopEvalBudget) and is identical to an unsupervised run.
+//
+// On a budgeted problem each trial draws a random budget-feasible selection
+// (affordableFill) instead of k distinct candidates; under unit costs with
+// B = k the draws match SampleDistinct's rejection branch, so sparse
+// (k·3 < N) budgeted runs reproduce cardinality runs bit for bit.
 func RandomPlacement(p Problem, trials int, rng *xrand.Rand, opts ...Option) (Placement, error) {
 	cfg := resolveConfig(opts)
 	defer cfg.release()
@@ -29,8 +34,14 @@ func RandomPlacement(p Problem, trials int, rng *xrand.Rand, opts ...Option) (Pl
 	if trials < 1 {
 		return Placement{}, &InputError{Param: "trials", Value: trials, Reason: "must be at least 1"}
 	}
-	k := p.K()
-	if k > numCand {
+	bp, budgeted := asBudgeted(p)
+	draw := func() []int {
+		if budgeted {
+			return affordableFill(bp, rng)
+		}
+		return rng.SampleDistinct(numCand, p.K())
+	}
+	if k := p.K(); !budgeted && k > numCand {
 		return Placement{}, &InputError{Param: "k", Value: k,
 			Reason: fmt.Sprintf("budget exceeds the %d candidate edges", numCand)}
 	}
@@ -49,7 +60,7 @@ func RandomPlacement(p Problem, trials int, rng *xrand.Rand, opts ...Option) (Pl
 				stop.Reason = stopReasonFor(err)
 				break
 			}
-			sel := rng.SampleDistinct(numCand, k)
+			sel := draw()
 			if sigma := p.Sigma(sel); sigma > bestSigma {
 				bestSigma = sigma
 				bestSel = sel
@@ -60,7 +71,7 @@ func RandomPlacement(p Problem, trials int, rng *xrand.Rand, opts ...Option) (Pl
 	}
 	sels := make([][]int, trials)
 	for t := range sels {
-		sels[t] = rng.SampleDistinct(numCand, k)
+		sels[t] = draw()
 	}
 	sigmas := make([]int, trials)
 	shards := cfg.workers

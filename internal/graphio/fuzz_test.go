@@ -53,6 +53,51 @@ func FuzzReadDocument(f *testing.F) {
 	})
 }
 
+// FuzzReadCostTable feeds arbitrary bytes to the cost-table reader: a
+// table whose invariants all hold (it re-validates and prices lookups with
+// positive values), or an error wrapping ErrInvalid — never a panic.
+func FuzzReadCostTable(f *testing.F) {
+	f.Add([]byte(`{"default":2.5,"costs":[{"u":0,"v":1,"cost":1.5},{"u":2,"v":3,"cost":0.25}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"default":0}`))
+	f.Add([]byte(`{"default":-1}`))
+	f.Add([]byte(`{"costs":[{"u":0,"v":0,"cost":1}]}`))
+	f.Add([]byte(`{"costs":[{"u":-1,"v":2,"cost":1}]}`))
+	f.Add([]byte(`{"costs":[{"u":0,"v":1,"cost":0}]}`))
+	f.Add([]byte(`{"costs":[{"u":0,"v":1,"cost":-3}]}`))
+	f.Add([]byte(`{"costs":[{"u":0,"v":1,"cost":1},{"u":1,"v":0,"cost":2}]}`))
+	f.Add([]byte(`{"costs":[{"u":0,"v":999999999,"cost":1}]}`))
+	f.Add([]byte(`{"default":1e308,"costs":[]}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ct, err := ReadCostTable(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("ReadCostTable error %v does not wrap ErrInvalid", err)
+			}
+			return
+		}
+		if verr := ct.Validate(); verr != nil {
+			t.Fatalf("accepted cost table fails Validate: %v", verr)
+		}
+		// Every lookup must price positive: listed pairs by their record,
+		// unlisted pairs by the default (or unit).
+		for _, rec := range ct.Costs {
+			if c := ct.Cost(rec.U, rec.V); c != rec.Cost {
+				t.Fatalf("Cost(%d,%d) = %v, want listed %v", rec.U, rec.V, c, rec.Cost)
+			}
+			if c := ct.Cost(rec.V, rec.U); c != rec.Cost {
+				t.Fatalf("Cost(%d,%d) = %v, want listed %v (order-independent)", rec.V, rec.U, c, rec.Cost)
+			}
+		}
+		if c := ct.Cost(0, 1<<30); c <= 0 {
+			t.Fatalf("unlisted pair priced %v, want positive", c)
+		}
+	})
+}
+
 // FuzzReadEdgeList feeds arbitrary text to the edge-list reader: a valid
 // graph or an ErrInvalid-wrapping error, never a panic.
 func FuzzReadEdgeList(f *testing.F) {

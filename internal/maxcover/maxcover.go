@@ -118,6 +118,28 @@ func LazyGreedy(p Problem) Result {
 	return res
 }
 
+// Oracle adapts a coverage instance to the incremental marginal-gain shape
+// internal/submodular's greedy drivers consume (structurally, without an
+// import): Gain reports a set's marginal covered weight against the running
+// cover, Accept commits the set. It powers the budgeted μ/ν sandwich arms,
+// which run submodular.WeightedGreedy over coverage instances whose K no
+// longer applies.
+type Oracle struct {
+	p       Problem
+	covered *bitset.Set
+}
+
+// NewOracle returns an oracle positioned at the instance's initial cover.
+func NewOracle(p Problem) *Oracle {
+	return &Oracle{p: p, covered: initialCovered(p)}
+}
+
+// Gain returns the marginal covered weight of set e.
+func (o *Oracle) Gain(e int) float64 { return marginal(o.p.Weights, o.covered, o.p.Sets[e]) }
+
+// Accept commits set e into the running cover.
+func (o *Oracle) Accept(e int) { o.covered.UnionWith(o.p.Sets[e]) }
+
 func universeSize(p Problem) int {
 	if len(p.Sets) > 0 {
 		return p.Sets[0].Len()

@@ -82,6 +82,76 @@ func Greedy(n, k int, o Oracle) []int {
 	return sel
 }
 
+// WeightedGreedy selects elements from the ground set [0, n) under a
+// knapsack budget: each element e has a positive price cost(e), and the
+// selection's total price must stay within budget. Each round adds the
+// affordable element maximizing the cost-benefit ratio gain/cost (ties
+// toward the larger gain, then the smallest element), stopping when no
+// affordable element has positive gain.
+//
+// The ratio greedy alone carries no constant-factor guarantee — a cheap
+// mediocre element can crowd out a single expensive excellent one — so
+// WeightedGreedy also tracks the best affordable singleton from the first
+// round's probes and returns it instead when its gain beats the greedy
+// prefix's total. For monotone submodular f this "modified greedy" is a
+// ½(1 − 1/e) approximation (Khuller–Moss–Naor); naive weighted-greedy
+// ratio arguments without the fallback are known to fail (cf. Ren & Zhao
+// on connected set cover).
+//
+// Elements priced at +Inf are never affordable; NaN and non-positive
+// prices are the caller's bug (core.NewInstance rejects them up front).
+// With every cost(e) == 1 and budget == k, WeightedGreedy selects exactly
+// what Greedy(n, k, o) selects: the first-round ratio argmax is the gain
+// argmax with identical tie-breaking, and the fallback singleton is the
+// first pick, which monotonicity keeps from overtaking the prefix.
+func WeightedGreedy(n int, budget float64, cost func(int) float64, o Oracle) []int {
+	var sel []int
+	selected := make([]bool, n)
+	rem := budget
+	singleE, singleGain := -1, 0.0
+	greedyTotal := 0.0
+	for round := 0; ; round++ {
+		bestE, bestGain, bestCost := -1, 0.0, 0.0
+		for e := 0; e < n; e++ {
+			if selected[e] {
+				continue
+			}
+			g := o.Gain(e)
+			if g <= 0 {
+				continue
+			}
+			c := cost(e)
+			if round == 0 && c <= budget && g > singleGain {
+				singleE, singleGain = e, g
+			}
+			if c > rem {
+				continue
+			}
+			if bestE < 0 {
+				bestE, bestGain, bestCost = e, g, c
+				continue
+			}
+			// gain/cost comparison, cross-multiplied to avoid division.
+			l, r := g*bestCost, bestGain*c
+			if l > r || (l == r && g > bestGain) {
+				bestE, bestGain, bestCost = e, g, c
+			}
+		}
+		if bestE < 0 {
+			break
+		}
+		o.Accept(bestE)
+		selected[bestE] = true
+		sel = append(sel, bestE)
+		rem -= bestCost
+		greedyTotal += bestGain
+	}
+	if singleE >= 0 && singleGain > greedyTotal {
+		return []int{singleE}
+	}
+	return sel
+}
+
 // LazyGreedy is CELF lazy greedy: valid only for submodular objectives,
 // where a stale marginal gain upper-bounds the true one. Identical output
 // to Greedy under submodularity.

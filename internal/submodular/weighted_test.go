@@ -1,0 +1,206 @@
+package submodular
+
+import (
+	"math"
+	"testing"
+
+	"msc/internal/xrand"
+)
+
+func unitCost(int) float64 { return 1 }
+
+// modularValue builds an additive set function from per-element weights.
+func modularValue(weights []float64) Value {
+	return func(sel []int) float64 {
+		total := 0.0
+		for _, s := range sel {
+			total += weights[s]
+		}
+		return total
+	}
+}
+
+// TestWeightedGreedyUnitEqualsGreedy locks the reduction the budgeted
+// solver stack depends on: with every price 1 and budget k, WeightedGreedy
+// selects exactly what the cardinality Greedy selects — same elements,
+// same order — on random coverage instances.
+func TestWeightedGreedyUnitEqualsGreedy(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		universe := 3 + rng.Intn(10)
+		sets := make([][]int, n)
+		for i := range sets {
+			for e := 0; e < universe; e++ {
+				if rng.Bernoulli(0.3) {
+					sets[i] = append(sets[i], e)
+				}
+			}
+		}
+		k := 1 + rng.Intn(4)
+		f := coverageValue(sets)
+		plain := Greedy(n, k, NewFuncOracle(f))
+		weighted := WeightedGreedy(n, float64(k), unitCost, NewFuncOracle(f))
+		if len(plain) != len(weighted) {
+			t.Fatalf("trial %d: lengths differ: %v vs %v", trial, plain, weighted)
+		}
+		for i := range plain {
+			if plain[i] != weighted[i] {
+				t.Fatalf("trial %d: %v vs %v", trial, plain, weighted)
+			}
+		}
+	}
+}
+
+// TestWeightedGreedyFallbackSingleton is the Khuller–Moss–Naor failure
+// mode of the bare ratio greedy: a cheap mediocre element crowds out a
+// single expensive excellent one, and only the best-singleton fallback
+// recovers it. Naive ratio arguments without the fallback are known to
+// fail (cf. Ren & Zhao on connected set cover).
+func TestWeightedGreedyFallbackSingleton(t *testing.T) {
+	f := modularValue([]float64{1, 5})
+	cost := func(e int) float64 { return []float64{0.1, 5}[e] }
+	// Round 0: element 0 has ratio 10, element 1 ratio 1 → greedy takes 0,
+	// leaving 4.9 < 5 of budget, so 1 never fits and the prefix totals 1.
+	// The fallback singleton {1} (gain 5) must win.
+	got := WeightedGreedy(2, 5, cost, NewFuncOracle(f))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("WeightedGreedy = %v, want the fallback singleton [1]", got)
+	}
+}
+
+// TestWeightedGreedyPrefixWinsWhenBetter checks the other side of the
+// fallback comparison: when the ratio-greedy prefix outgains every
+// affordable singleton, the prefix is returned.
+func TestWeightedGreedyPrefixWinsWhenBetter(t *testing.T) {
+	f := modularValue([]float64{3, 3, 4})
+	cost := func(e int) float64 { return []float64{1, 1, 2}[e] }
+	got := WeightedGreedy(3, 2, cost, NewFuncOracle(f))
+	// Budget 2 affords {0,1} (total 6) or the singleton {2} (gain 4):
+	// the prefix wins.
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("WeightedGreedy = %v, want the prefix [0 1]", got)
+	}
+}
+
+// TestWeightedGreedyRespectsBudget checks feasibility and distinctness on
+// random coverage instances with heterogeneous prices, including +Inf
+// prices that must never be selected.
+func TestWeightedGreedyRespectsBudget(t *testing.T) {
+	rng := xrand.New(12)
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		universe := 4 + rng.Intn(8)
+		sets := make([][]int, n)
+		costs := make([]float64, n)
+		for i := range sets {
+			costs[i] = 0.5 + 2*rng.Float64()
+			if rng.Bernoulli(0.15) {
+				costs[i] = math.Inf(1)
+			}
+			for e := 0; e < universe; e++ {
+				if rng.Bernoulli(0.35) {
+					sets[i] = append(sets[i], e)
+				}
+			}
+		}
+		budget := 1 + 3*rng.Float64()
+		sel := WeightedGreedy(n, budget, func(e int) float64 { return costs[e] }, NewFuncOracle(coverageValue(sets)))
+		total := 0.0
+		seen := map[int]bool{}
+		for _, e := range sel {
+			if seen[e] {
+				t.Fatalf("trial %d: duplicate element %d in %v", trial, e, sel)
+			}
+			seen[e] = true
+			total += costs[e]
+		}
+		if total > budget+1e-9 {
+			t.Fatalf("trial %d: selection %v costs %v of budget %v", trial, sel, total, budget)
+		}
+	}
+}
+
+// TestWeightedGreedyKMNBound checks the ½(1−1/e) guarantee of the
+// modified greedy against the exhaustive budgeted optimum on random
+// coverage instances.
+func TestWeightedGreedyKMNBound(t *testing.T) {
+	rng := xrand.New(13)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(6)
+		universe := 4 + rng.Intn(8)
+		sets := make([][]int, n)
+		costs := make([]float64, n)
+		for i := range sets {
+			costs[i] = 0.5 + 2*rng.Float64()
+			for e := 0; e < universe; e++ {
+				if rng.Bernoulli(0.35) {
+					sets[i] = append(sets[i], e)
+				}
+			}
+		}
+		budget := 1 + 3*rng.Float64()
+		cost := func(e int) float64 { return costs[e] }
+		f := coverageValue(sets)
+		got := f(WeightedGreedy(n, budget, cost, NewFuncOracle(f)))
+		opt := bestBudgetedValue(n, budget, cost, f)
+		if got < 0.5*(1-1/math.E)*opt-1e-9 {
+			t.Fatalf("trial %d: weighted greedy %v < ½(1−1/e)·opt %v", trial, got, opt)
+		}
+	}
+}
+
+// bestBudgetedValue brute-forces the budgeted optimum over all feasible
+// subsets.
+func bestBudgetedValue(n int, budget float64, cost func(int) float64, f Value) float64 {
+	best := f(nil)
+	var rec func(start int, sel []int, rem float64)
+	rec = func(start int, sel []int, rem float64) {
+		if v := f(sel); v > best {
+			best = v
+		}
+		for i := start; i < n; i++ {
+			if c := cost(i); c <= rem {
+				rec(i+1, append(sel, i), rem-c)
+			}
+		}
+	}
+	rec(0, nil, budget)
+	return best
+}
+
+// TestWeightedGreedyNothingAffordable covers the degenerate corners: a
+// budget below every price, an empty ground set, and a function with no
+// positive gains all yield the empty selection without spinning.
+func TestWeightedGreedyNothingAffordable(t *testing.T) {
+	f := coverageValue([][]int{{0}, {1}, {2}})
+	if got := WeightedGreedy(3, 0.5, unitCost, NewFuncOracle(f)); len(got) != 0 {
+		t.Fatalf("unaffordable universe selected %v", got)
+	}
+	if got := WeightedGreedy(0, 10, unitCost, NewFuncOracle(f)); len(got) != 0 {
+		t.Fatalf("empty ground set selected %v", got)
+	}
+	zero := func([]int) float64 { return 0 }
+	if got := WeightedGreedy(3, 10, unitCost, NewFuncOracle(zero)); len(got) != 0 {
+		t.Fatalf("zero-gain function selected %v", got)
+	}
+}
+
+// TestWeightedGreedyTieBreaks pins the deterministic tie rules: equal
+// ratios break toward the larger gain, and fully equal (gain, cost) pairs
+// break toward the smaller element (scan order).
+func TestWeightedGreedyTieBreaks(t *testing.T) {
+	// Elements 0 and 1 share ratio 2 (2/1 vs 4/2): the larger gain wins.
+	f := modularValue([]float64{2, 4})
+	cost := func(e int) float64 { return []float64{1, 2}[e] }
+	got := WeightedGreedy(2, 2, cost, NewFuncOracle(f))
+	if len(got) == 0 || got[0] != 1 {
+		t.Fatalf("ratio tie broke to %v, want element 1 (larger gain)", got)
+	}
+	// Identical elements: the smaller index wins.
+	g := modularValue([]float64{3, 3})
+	got = WeightedGreedy(2, 1, unitCost, NewFuncOracle(g))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("full tie broke to %v, want element 0", got)
+	}
+}

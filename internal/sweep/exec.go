@@ -159,6 +159,9 @@ func (p *ProcessRunner) runPlace(ctx context.Context, sc Scenario) (telemetry.Ru
 	if sc.Survive != "" {
 		args = append(args, "-survive", sc.Survive)
 	}
+	if sc.Budget > 0 {
+		args = append(args, "-budget", strconv.FormatFloat(sc.Budget, 'g', -1, 64))
+	}
 	args = p.opsArgs(args, sc)
 	if p.Iters > 0 {
 		args = append(args, "-iters", strconv.Itoa(p.Iters))

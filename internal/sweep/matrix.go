@@ -51,6 +51,11 @@ type Matrix struct {
 	// scenario key grows a segment only for survivable modes, so existing
 	// trajectory keys are unchanged.
 	Survive []string `json:"survive,omitempty"`
+	// Budget mirrors the -budget flag on place scenarios: a knapsack
+	// budget B replacing the cardinality budget k. 0 means cardinality
+	// placement; the scenario key grows a /b-<B> segment only for budgeted
+	// runs, so existing trajectory keys are unchanged.
+	Budget []float64 `json:"budget,omitempty"`
 	// Parallelism mirrors -par: 1 = serial, 0 = GOMAXPROCS.
 	Parallelism []int `json:"parallelism"`
 	// Seeds drives both instance sampling and randomized solvers; one run
@@ -66,11 +71,13 @@ type Matrix struct {
 	Quick bool `json:"quick"`
 }
 
-// QuickMatrix is the smoke sweep CI runs on every push: 2 budgets × 2
-// solvers × 2 survivability modes × 3 seeds on a 40-node RGG, plus one
-// whole-suite mscbench experiment — 25 child runs, a few seconds end to
-// end. The survivable half gates the worst-case σ⁻ objective against the
-// same baseline discipline as the fault-free runs.
+// QuickMatrix is the smoke sweep CI runs on every push: 2 cardinality
+// budgets × 2 solvers × 2 survivability modes × 2 knapsack budgets (off and
+// B=2 unit-cost) × 3 seeds on a 40-node RGG, plus one whole-suite mscbench
+// experiment — under a hundred child runs, a few seconds end to end. The
+// survivable half gates the worst-case σ⁻ objective and the budgeted half
+// the knapsack objective against the same baseline discipline as the
+// fault-free cardinality runs.
 func QuickMatrix() Matrix {
 	return Matrix{
 		Families:     []string{"rgg"},
@@ -82,6 +89,7 @@ func QuickMatrix() Matrix {
 		DistBackends: []string{"auto"},
 		EvalModes:    []string{"auto"},
 		Survive:      []string{"none", "shortcut"},
+		Budget:       []float64{0, 2},
 		Parallelism:  []int{1},
 		Seeds:        []int64{1, 2, 3},
 		Experiments:  []string{"table1"},
@@ -137,6 +145,11 @@ func (m Matrix) Validate() error {
 	for _, p := range m.Parallelism {
 		if p < 0 {
 			return &MatrixError{Axis: "parallelism", Reason: fmt.Sprintf("negative worker count %d", p)}
+		}
+	}
+	for _, b := range m.Budget {
+		if b != b || b < 0 || b > 1e18 {
+			return &MatrixError{Axis: "budget", Reason: fmt.Sprintf("budget %v must be finite and non-negative", b)}
 		}
 	}
 	for _, id := range m.Experiments {
@@ -216,6 +229,9 @@ type Scenario struct {
 	// Survive is the -survive mode; empty or "none" is the fault-free
 	// objective and adds no key segment.
 	Survive string `json:"survive,omitempty"`
+	// Budget is the -budget knapsack budget; 0 is cardinality placement
+	// and adds no key segment.
+	Budget float64 `json:"budget,omitempty"`
 
 	// Bench axis (Kind == KindBench).
 	Experiment string `json:"experiment,omitempty"`
@@ -250,6 +266,10 @@ func (s Scenario) Key() string {
 		if s.Survive != "" && s.Survive != "none" && s.Survive != "auto" {
 			key += "/sv-" + s.Survive
 		}
+		// Budgeted runs likewise: cardinality runs keep the historical key.
+		if s.Budget > 0 {
+			key += "/b-" + formatPt(s.Budget)
+		}
 		return key
 	}
 }
@@ -270,8 +290,8 @@ func formatPt(pt float64) string {
 // Expand validates the matrix and unrolls its cross product into the
 // deterministic scenario order the pool and the aggregator both rely on:
 // place scenarios first (axes varying innermost-to-outermost in the order
-// seed, par, eval, backend, solver, k, pt, m, n, family), then bench
-// scenarios.
+// seed, par, budget, survive, eval, backend, solver, k, pt, m, n, family),
+// then bench scenarios.
 func (m Matrix) Expand() ([]Scenario, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -279,6 +299,10 @@ func (m Matrix) Expand() ([]Scenario, error) {
 	backends := orDefault(m.DistBackends, "auto")
 	evals := orDefault(m.EvalModes, "auto")
 	survives := orDefault(m.Survive, "auto")
+	budgets := m.Budget
+	if len(budgets) == 0 {
+		budgets = []float64{0}
+	}
 	pars := m.Parallelism
 	if len(pars) == 0 {
 		pars = []int{0}
@@ -299,17 +323,19 @@ func (m Matrix) Expand() ([]Scenario, error) {
 							for _, backend := range backends {
 								for _, eval := range evals {
 									for _, survive := range survives {
-										for _, par := range pars {
-											for _, seed := range m.Seeds {
-												sc := Scenario{
-													Kind: KindPlace, Family: family, N: n, M: mm, Pt: pt, K: k,
-													Solver: solver, DistBackend: backend, EvalMode: eval,
-													Survive: survive, Par: par, Quick: m.Quick, Seed: seed,
+										for _, budget := range budgets {
+											for _, par := range pars {
+												for _, seed := range m.Seeds {
+													sc := Scenario{
+														Kind: KindPlace, Family: family, N: n, M: mm, Pt: pt, K: k,
+														Solver: solver, DistBackend: backend, EvalMode: eval,
+														Survive: survive, Budget: budget, Par: par, Quick: m.Quick, Seed: seed,
+													}
+													if family == "social" {
+														sc.N = 0 // generator-fixed; keep the key honest
+													}
+													out = append(out, sc)
 												}
-												if family == "social" {
-													sc.N = 0 // generator-fixed; keep the key honest
-												}
-												out = append(out, sc)
 											}
 										}
 									}

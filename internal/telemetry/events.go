@@ -174,6 +174,14 @@ type RunRecord struct {
 	Candidates int     `json:"candidates"`
 	K          int     `json:"k"`
 	Pt         float64 `json:"p_t"`
+	// Budget is the knapsack budget B of a budget-weighted run; 0 for
+	// cardinality runs (and runs that predate the field). CostSpent is the
+	// total price of the final placement under the run's cost model, and
+	// CostModel names that model ("unit", "length", "table"); "" for
+	// cardinality runs.
+	Budget    float64 `json:"budget"`
+	CostSpent float64 `json:"cost_spent"`
+	CostModel string  `json:"cost_model"`
 	// Sigma is σ achieved and MaxSigma the achievable maximum; Sigma is −1
 	// when the run has no single σ (e.g. a whole experiment suite).
 	Sigma    int `json:"sigma"`

@@ -102,6 +102,9 @@ type (
 	// Survivability selects the failure model an instance optimizes
 	// against: SurviveNone, SurviveShortcut, or SurviveNode.
 	Survivability = core.Survivability
+	// CostModel selects how candidate shortcuts are priced under a
+	// knapsack budget: CostUnit, CostLength, or CostTable.
+	CostModel = core.CostModel
 	// Rand is the deterministic randomness source used by the randomized
 	// algorithms and generators.
 	Rand = xrand.Rand
@@ -151,6 +154,9 @@ type (
 	// WorstCaseProblem extends Problem with the worst-case objective σ⁻
 	// of survivable instances.
 	WorstCaseProblem = core.WorstCaseProblem
+	// BudgetProblem extends Problem with the knapsack budget and candidate
+	// prices of budget-weighted instances (InstanceOptions.Budget).
+	BudgetProblem = core.BudgetProblem
 	// Checkpoint snapshots a resumable EA/AEA run at an iteration
 	// boundary; see EAOptions.Resume / AEAOptions.Resume.
 	Checkpoint = telemetry.CheckpointEvent
@@ -199,6 +205,19 @@ const (
 	SurviveNone     = core.SurviveNone
 	SurviveShortcut = core.SurviveShortcut
 	SurviveNode     = core.SurviveNode
+)
+
+// Cost models selectable via InstanceOptions.CostModel. CostModelAuto (the
+// zero value) resolves to CostUnit unless SetDefaultCostModel installed a
+// different default. A knapsack budget B (InstanceOptions.Budget) replaces
+// the cardinality budget k whenever any budget option is set; unit-cost
+// runs with B = k are bit-for-bit identical to cardinality-k runs. See
+// DESIGN.md §12.
+const (
+	CostModelAuto = core.CostModelAuto
+	CostUnit      = core.CostUnit
+	CostLength    = core.CostLength
+	CostTable     = core.CostTable
 )
 
 // Parallelism fixes the number of candidate-scan workers a solver may use:
@@ -289,6 +308,45 @@ func SetDefaultSurvivability(m Survivability) { core.SetDefaultSurvivability(m) 
 // "shortcut", "node").
 func ParseSurvivability(s string) (Survivability, error) { return core.ParseSurvivability(s) }
 
+// WithSurvivability returns instance options selecting the failure model
+// the objective must survive — shorthand for the common
+// NewInstance(..., &InstanceOptions{Survive: mode}) call.
+func WithSurvivability(mode Survivability) *InstanceOptions {
+	return &InstanceOptions{Survive: mode}
+}
+
+// WithBudget returns instance options replacing the cardinality budget k
+// with a knapsack budget B priced by the given cost model — shorthand for
+// the common NewInstance(..., &InstanceOptions{Budget: b, CostModel: m})
+// call.
+func WithBudget(b float64, m CostModel) *InstanceOptions {
+	return &InstanceOptions{Budget: b, CostModel: m}
+}
+
+// SetDefaultCostModel sets the cost model used by budgeted instances built
+// with CostModelAuto; CostModelAuto restores the unit default. Wired to the
+// -cost-model flag of mscplace and mscbench.
+func SetDefaultCostModel(m CostModel) { core.SetDefaultCostModel(m) }
+
+// SetDefaultBudget sets the knapsack budget applied to instances built
+// without explicit budget options; 0 restores cardinality placement. Wired
+// to the -budget flag of mscbench.
+func SetDefaultBudget(b float64) { core.SetDefaultBudget(b) }
+
+// ParseCostModel validates a -cost-model flag value ("auto", "unit",
+// "length", "table").
+func ParseCostModel(s string) (CostModel, error) { return core.ParseCostModel(s) }
+
+// NumCandidatesFor returns the size n(n−1)/2 of the candidate-shortcut
+// universe of an n-node instance — the length InstanceOptions.Costs must
+// have.
+func NumCandidatesFor(n int) int { return core.NumCandidatesFor(n) }
+
+// CandidateIndexFor returns the candidate index of the shortcut edge e in
+// an n-node instance's enumeration; use it to address InstanceOptions.Costs
+// entries by endpoint pair.
+func CandidateIndexFor(n int, e Edge) int { return core.CandidateIndexFor(n, e) }
+
 // SampleViolatingPairs randomly picks m pairs whose current best path
 // violates the distance threshold — the paper's evaluation setup
 // (§VII-A3).
@@ -353,6 +411,14 @@ func RandomPlacement(p Problem, trials int, rng *Rand, opts ...Option) (Placemen
 // small instances (maxEvals caps the σ evaluations).
 func Exhaustive(p Problem, maxEvals int, opts ...Option) (Placement, error) {
 	return core.Exhaustive(p, maxEvals, opts...)
+}
+
+// ExhaustiveBudget computes the exact optimal budget-feasible placement of
+// a budgeted problem by enumerating every selection whose total cost fits
+// the budget; exponential, for small instances (maxEvals caps the σ
+// evaluations).
+func ExhaustiveBudget(p Problem, maxEvals int, opts ...Option) (Placement, error) {
+	return core.ExhaustiveBudget(p, maxEvals, opts...)
 }
 
 // SelectionEdges converts a solver's candidate-index selection to edges.

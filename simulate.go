@@ -21,6 +21,9 @@ type (
 	SimResult = montecarlo.Result
 	// InstanceDocument is the JSON wire form of an MSC problem instance.
 	InstanceDocument = graphio.Document
+	// CostTableDocument is the JSON wire form of a per-candidate shortcut
+	// price table (the "table" cost model of budget-weighted placement).
+	CostTableDocument = graphio.CostTable
 	// Scene is a renderable picture of a network with pairs and
 	// shortcuts.
 	Scene = viz.Scene
@@ -52,6 +55,17 @@ func WriteInstanceJSON(w io.Writer, g *Graph, ps *PairSet, pt float64, k int) er
 // ReadInstanceJSON deserializes a problem instance document.
 func ReadInstanceJSON(r io.Reader) (InstanceDocument, error) {
 	return graphio.ReadJSON(r)
+}
+
+// ReadCostTable deserializes and validates a shortcut price table for the
+// "table" cost model (mscplace -cost-table).
+func ReadCostTable(r io.Reader) (CostTableDocument, error) {
+	return graphio.ReadCostTable(r)
+}
+
+// WriteCostTable serializes a shortcut price table.
+func WriteCostTable(w io.Writer, ct CostTableDocument) error {
+	return graphio.WriteCostTable(w, ct)
 }
 
 // WriteSceneSVG renders a network + placement picture as SVG (the graph
