@@ -25,6 +25,7 @@ import (
 	"msc/internal/cli"
 	"msc/internal/core"
 	"msc/internal/experiments"
+	"msc/internal/shortestpath"
 	"msc/internal/telemetry"
 	"msc/internal/viz"
 )
@@ -84,6 +85,7 @@ func run(ctx context.Context) (retErr error) {
 		par      = flag.Int("par", 0, "candidate-scan workers: 1 = serial, 0 = GOMAXPROCS (results are identical either way)")
 		budgetF  = flag.Float64("budget", 0, "knapsack budget B replacing the cardinality budget k on every instance; prices come from -cost-model (0 = cardinality placement)")
 		distB    = cli.AddDistBackendFlag(flag.CommandLine)
+		lmF      = cli.AddLandmarksFlag(flag.CommandLine)
 		evalM    = cli.AddEvalModeFlag(flag.CommandLine)
 		survM    = cli.AddSurviveFlag(flag.CommandLine)
 		costM    = cli.AddCostModelFlag(flag.CommandLine)
@@ -107,6 +109,7 @@ func run(ctx context.Context) (retErr error) {
 		return err
 	}
 	core.SetDefaultDistBackend(backend)
+	core.SetDefaultLandmarks(*lmF)
 	evalMode, err := core.ParseEvalMode(*evalM)
 	if err != nil {
 		return err
@@ -208,7 +211,9 @@ func run(ctx context.Context) (retErr error) {
 				Sigma:       -1,
 				SigmaWorst:  -1,
 				WallMS:      float64(elapsed.Nanoseconds()) / 1e6,
-				Counters:    telemetry.Global().Snapshot().Sub(before),
+
+				RowBytesResident: shortestpath.RowBytesResident(),
+				Counters:         telemetry.Global().Snapshot().Sub(before),
 			})
 		}
 		fmt.Printf("[%s took %v]\n\n", id, elapsed.Round(time.Millisecond))

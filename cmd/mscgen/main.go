@@ -34,6 +34,7 @@ func run(ctx context.Context) error {
 		out     = flag.String("out", "", "output path (default stdout)")
 		steps   = flag.Int("steps", 30, "time instances (mobility)")
 		radius  = flag.Float64("radius", 0, "RGG connection radius (0 = auto-scale with n)")
+		users   = flag.Int("users", 0, "social user count (0 = the paper's 134-user Gowalla subgraph; larger values scale venues and area at constant density)")
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	opsF := cli.AddOpsFlags(flag.CommandLine)
@@ -83,7 +84,11 @@ func run(ctx context.Context) error {
 		}
 		return writeInstance(w, g, *m, *pt, *k, rng)
 	case "social":
-		net, err := msc.GenerateSocial(msc.DefaultSocialConfig(), rng)
+		cfg := msc.DefaultSocialConfig()
+		if *users > 0 {
+			cfg = msc.ScaledSocialConfig(*users)
+		}
+		net, err := msc.GenerateSocial(cfg, rng)
 		if err != nil {
 			return err
 		}
@@ -102,14 +107,37 @@ func run(ctx context.Context) error {
 	}
 }
 
+// writeInstance samples threshold-violating pairs and streams the
+// instance to w. The distance backend and sampler follow the node count:
+// small networks keep the dense table and the exhaustive sampler (every
+// violating pair enumerable, byte-stable output for existing seeds);
+// above the dense threshold the exhaustive ~n²/2 scan is the bottleneck,
+// so rejection sampling over point queries takes over, backed by lazy
+// rows up to the bounded threshold and by bounded-reach sparse rows past
+// it — at 10⁶ nodes each trial touches one d_t-ball row instead of an
+// 8 MB dense row.
 func writeInstance(w *os.File, g *msc.Graph, m int, pt float64, k int, rng *msc.Rand) error {
 	thr := msc.NewThreshold(pt)
-	table := msc.NewDistanceTable(g)
-	ps, err := msc.SampleViolatingPairs(table, thr, m, rng)
+	var (
+		ps  *msc.PairSet
+		err error
+	)
+	switch n := g.N(); {
+	case n < msc.DefaultLazyThreshold:
+		ps, err = msc.SampleViolatingPairs(msc.NewDistanceTable(g), thr, m, rng)
+	case n < msc.DefaultBoundedThreshold:
+		ps, err = msc.SampleViolatingPairsRandom(msc.NewLazyDistanceTable(g, msc.LazyTableOptions{}), thr, m, rng)
+	default:
+		table, terr := msc.NewBoundedDistanceTable(g, msc.BoundedTableOptions{Reach: thr.D})
+		if terr != nil {
+			return terr
+		}
+		ps, err = msc.SampleViolatingPairsRandom(table, thr, m, rng)
+	}
 	if err != nil {
 		return err
 	}
-	return msc.WriteInstanceJSON(w, g, ps, pt, k)
+	return msc.StreamInstanceJSON(w, g, ps, pt, k)
 }
 
 // Interface check: the mobility trace type must keep its CSV codec, which

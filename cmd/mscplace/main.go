@@ -70,6 +70,7 @@ func run(ctx context.Context) (retErr error) {
 		budgetF  = flag.Float64("budget", 0, "knapsack budget B replacing the cardinality budget k; shortcut prices come from -cost-model (0 = cardinality placement)")
 		costTab  = flag.String("cost-table", "", "per-pair shortcut price table JSON for -cost-model table")
 		distB    = cli.AddDistBackendFlag(flag.CommandLine)
+		lmF      = cli.AddLandmarksFlag(flag.CommandLine)
 		evalM    = cli.AddEvalModeFlag(flag.CommandLine)
 		survM    = cli.AddSurviveFlag(flag.CommandLine)
 		costM    = cli.AddCostModelFlag(flag.CommandLine)
@@ -197,7 +198,7 @@ func run(ctx context.Context) (retErr error) {
 	if threshold <= 0 {
 		return fmt.Errorf("no threshold: set one in the instance or pass -pt")
 	}
-	instOpts := &msc.InstanceOptions{AllowTrivial: true, DistBackend: backend, EvalMode: evalMode,
+	instOpts := &msc.InstanceOptions{AllowTrivial: true, DistBackend: backend, Landmarks: *lmF, EvalMode: evalMode,
 		Parallelism: *par, Survive: survive}
 	if budgeted {
 		instOpts.Budget = *budgetF
@@ -350,28 +351,29 @@ func run(ctx context.Context) (retErr error) {
 	}
 	if sink != nil {
 		sink.Emit(msc.RunRecord{
-			ShardImbalance: obs.ShardImbalance.Snapshot().Sub(imbBefore).Mean(),
-			Name:           *alg,
-			Algorithm:      *alg,
-			Seed:           *seed,
-			Workers:        *par,
-			DistBackend:    *distB,
-			EvalMode:       *evalM,
-			Survive:        string(inst.Survive()),
-			N:              inst.N(),
-			Pairs:          ps.Len(),
-			Candidates:     inst.NumCandidates(),
-			K:              budget,
-			Pt:             threshold,
-			Budget:         inst.Budget(),
-			CostSpent:      costSpent,
-			CostModel:      string(inst.CostModel()),
-			Sigma:          pl.Sigma,
-			MaxSigma:       inst.MaxSigma(),
-			SigmaWorst:     declaredWorst,
-			WallMS:         float64(time.Since(start).Nanoseconds()) / 1e6,
-			Counters:       msc.CountersSnapshot().Sub(before),
-			StopReason:     string(pl.Stop.Reason),
+			ShardImbalance:   obs.ShardImbalance.Snapshot().Sub(imbBefore).Mean(),
+			Name:             *alg,
+			Algorithm:        *alg,
+			Seed:             *seed,
+			Workers:          *par,
+			DistBackend:      *distB,
+			EvalMode:         *evalM,
+			Survive:          string(inst.Survive()),
+			N:                inst.N(),
+			Pairs:            ps.Len(),
+			Candidates:       inst.NumCandidates(),
+			K:                budget,
+			Pt:               threshold,
+			Budget:           inst.Budget(),
+			CostSpent:        costSpent,
+			CostModel:        string(inst.CostModel()),
+			Sigma:            pl.Sigma,
+			MaxSigma:         inst.MaxSigma(),
+			SigmaWorst:       declaredWorst,
+			WallMS:           float64(time.Since(start).Nanoseconds()) / 1e6,
+			RowBytesResident: msc.RowBytesResident(),
+			Counters:         msc.CountersSnapshot().Sub(before),
+			StopReason:       string(pl.Stop.Reason),
 		})
 	}
 	// A silently failed telemetry file is worse than no file: surface the

@@ -48,6 +48,13 @@ func GenerateSocial(cfg SocialConfig, rng *Rand) (*SocialNetwork, error) {
 // DefaultSocialConfig returns the paper-scale social workload parameters.
 func DefaultSocialConfig() SocialConfig { return social.DefaultConfig() }
 
+// ScaledSocialConfig scales the paper's Gowalla-subgraph parameters to a
+// target user count at constant check-in density: venues grow with users
+// and the downtown area with √users, while radio and venue physics stay
+// fixed. ScaledSocialConfig(134) equals DefaultSocialConfig(); pair it
+// with the bounded distance backend for city-scale instances.
+func ScaledSocialConfig(users int) SocialConfig { return social.ScaledConfig(users) }
+
 // GenerateMobilityTrace draws a Reference Point Group Mobility trace
 // (groups following leaders, members jittering around them), the synthetic
 // surrogate for the tactical traces of §VII-A2.

@@ -82,7 +82,16 @@ func Version(cmd string) string {
 // core.ParseDistBackend.
 func AddDistBackendFlag(fs *flag.FlagSet) *string {
 	return fs.String("dist-backend", "auto",
-		"distance backend: auto|dense|lazy (auto = dense for small networks, lazy Dijkstra row cache above the node threshold)")
+		"distance backend: auto|dense|lazy|bounded (auto = dense for small networks, lazy Dijkstra row cache above the node threshold, bounded-reach sparse rows at million-node scale)")
+}
+
+// AddLandmarksFlag registers the -landmarks flag shared by the
+// solver-facing commands and returns the pointer receiving its value
+// after fs.Parse. It tunes the ALT landmark count of the bounded distance
+// backend; 0 keeps the built-in default, negative disables landmarks.
+func AddLandmarksFlag(fs *flag.FlagSet) *int {
+	return fs.Int("landmarks", 0,
+		"ALT landmarks for the bounded distance backend (0 = default, negative = disable)")
 }
 
 // AddEvalModeFlag registers the -eval flag shared by the solver-facing

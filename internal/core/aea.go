@@ -191,6 +191,7 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 				e := p.CandidateEdge(child.sel[len(child.sel)-1])
 				added = &[2]int32{int32(e.U), int32(e.V)}
 			}
+			mu, nu := diagBounds(p, child.sel)
 			opts.Sink.Emit(telemetry.RoundEvent{
 				Algorithm:  "aea",
 				Round:      iter,
@@ -199,8 +200,8 @@ func AEA(p Problem, opts AEAOptions, rng *xrand.Rand) AEAResult {
 				Sigma:      best.sigma,
 				Selected:   len(child.sel),
 				Candidates: numCand,
-				Mu:         p.Mu(child.sel),
-				Nu:         p.Nu(child.sel),
+				Mu:         mu,
+				Nu:         nu,
 				ElapsedNS:  time.Since(start).Nanoseconds(),
 			})
 		}

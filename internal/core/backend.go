@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
+	"msc/internal/failprob"
 	"msc/internal/graph"
 	"msc/internal/pairs"
 	"msc/internal/shortestpath"
@@ -29,6 +31,16 @@ const (
 	// read the rows of the 2m pair endpoints plus the shortcut endpoints
 	// of evaluated selections, so construction cost stops scaling with n.
 	BackendLazy DistBackend = "lazy"
+	// BackendBounded computes rows with a Dijkstra bounded at the
+	// threshold d_t and stores them sparsely, with an ALT landmark layer
+	// for certified "farther than d_t" answers. The objective only ever
+	// compares distances against d_t, so the truncation is unobservable
+	// to the solvers; per-row memory and per-row compute scale with the
+	// d_t-ball instead of with n, which is what makes 10⁵–10⁶-node
+	// instances tractable. Distances carry float32 quantization (≈1e-7
+	// relative); the "length" cost model is rejected (it needs full-range
+	// distances).
+	BackendBounded DistBackend = "bounded"
 )
 
 // DefaultLazyThreshold is the node count at and above which BackendAuto
@@ -38,13 +50,26 @@ const (
 // "Distance backends" for the measurements behind the value).
 const DefaultLazyThreshold = 512
 
+// DefaultBoundedThreshold is the node count at and above which
+// BackendAuto selects the bounded backend. Around 10⁵ nodes even lazy
+// rows hurt — each cached row is 8·n bytes and each row compute is a
+// full-graph Dijkstra — while a d_t-ball holds a few dozen nodes on the
+// paper's instance families (see EXPERIMENTS.md, "Scale recipe").
+const DefaultBoundedThreshold = 100_000
+
+// DefaultLandmarks is the ALT landmark count the bounded backend builds
+// when the option is left at auto: enough farthest-point landmarks that
+// most beyond-d_t pair queries are answered by a lower bound, cheap
+// enough (one full Dijkstra + 4·n bytes each) to amortize immediately.
+const DefaultLandmarks = 16
+
 // defaultDistBackend holds the process-wide backend default used when
 // Options.DistBackend is BackendAuto; empty means "apply the threshold
 // rule". Set from the -dist-backend flag of the cmds.
 var defaultDistBackend atomic.Value // DistBackend
 
 // ParseDistBackend validates a -dist-backend flag value; "auto", "dense",
-// and "lazy" are accepted.
+// "lazy", and "bounded" are accepted.
 func ParseDistBackend(s string) (DistBackend, error) {
 	switch s {
 	case "", "auto":
@@ -53,8 +78,10 @@ func ParseDistBackend(s string) (DistBackend, error) {
 		return BackendDense, nil
 	case string(BackendLazy):
 		return BackendLazy, nil
+	case string(BackendBounded):
+		return BackendBounded, nil
 	}
-	return BackendAuto, fmt.Errorf("core: unknown distance backend %q (want auto, dense, or lazy)", s)
+	return BackendAuto, fmt.Errorf("core: unknown distance backend %q (want auto, dense, lazy, or bounded)", s)
 }
 
 // SetDefaultDistBackend sets the backend used by instances built with
@@ -74,19 +101,50 @@ func resolveDistBackend(b DistBackend, n int) DistBackend {
 		}
 	}
 	if b == BackendAuto {
-		if n >= DefaultLazyThreshold {
+		switch {
+		case n >= DefaultBoundedThreshold:
+			return BackendBounded
+		case n >= DefaultLazyThreshold:
 			return BackendLazy
+		default:
+			return BackendDense
 		}
-		return BackendDense
 	}
 	return b
 }
 
+// defaultLandmarks holds the process-wide ALT landmark count used when
+// Options.Landmarks is 0; 0 means "apply DefaultLandmarks". Set from the
+// -landmarks flag of the cmds. Negative disables the landmark layer.
+var defaultLandmarks atomic.Int64
+
+// SetDefaultLandmarks sets the ALT landmark count used by bounded-backend
+// instances whose Options leave Landmarks at 0 (auto). Pass a negative
+// value to disable landmarks, 0 to restore DefaultLandmarks.
+func SetDefaultLandmarks(k int) { defaultLandmarks.Store(int64(k)) }
+
+// resolveLandmarks applies the explicit-option → process-default →
+// DefaultLandmarks chain; negative anywhere in the chain means "no
+// landmarks".
+func resolveLandmarks(opt int) int {
+	if opt == 0 {
+		opt = int(defaultLandmarks.Load())
+	}
+	if opt == 0 {
+		opt = DefaultLandmarks
+	}
+	if opt < 0 {
+		return 0
+	}
+	return opt
+}
+
 // newDistanceSource builds the distance backend for an instance: the
 // caller-supplied source if any, else a dense table (built with the
-// option's worker budget) or a lazy row cache with the social-pair
-// endpoint rows pinned, per the resolved backend.
-func newDistanceSource(g *graph.Graph, ps *pairs.Set, opts *Options) (shortestpath.DistanceSource, error) {
+// option's worker budget), a lazy row cache, or a bounded sparse table
+// at reach thr.D, the latter two with the social-pair endpoint rows
+// pinned, per the resolved backend.
+func newDistanceSource(g *graph.Graph, ps *pairs.Set, thr failprob.Threshold, opts *Options) (shortestpath.DistanceSource, error) {
 	if opts != nil && opts.Table != nil {
 		if opts.Table.N() != g.N() {
 			return nil, fmt.Errorf("core: supplied table covers %d nodes, graph has %d", opts.Table.N(), g.N())
@@ -94,11 +152,12 @@ func newDistanceSource(g *graph.Graph, ps *pairs.Set, opts *Options) (shortestpa
 		return opts.Table, nil
 	}
 	var backend DistBackend
-	parallelism, lazyMaxRows := 0, 0
+	parallelism, lazyMaxRows, landmarks := 0, 0, 0
 	if opts != nil {
 		backend = opts.DistBackend
 		parallelism = opts.Parallelism
 		lazyMaxRows = opts.LazyMaxRows
+		landmarks = opts.Landmarks
 	}
 	switch b := resolveDistBackend(backend, g.N()); b {
 	case BackendDense:
@@ -109,7 +168,24 @@ func newDistanceSource(g *graph.Graph, ps *pairs.Set, opts *Options) (shortestpa
 		// set, so the pinned row set never depends on solver scheduling.
 		lt.Pin(ps.Nodes())
 		return lt, nil
+	case BackendBounded:
+		// A NaN threshold would make every `d > reach` comparison false
+		// and silently degenerate the bounded search into full
+		// exploration — reject it as a structural input error instead.
+		if math.IsNaN(thr.D) {
+			return nil, &InputError{Param: "threshold", Reason: "bounded distance backend needs a non-NaN reach d_t"}
+		}
+		bt, err := shortestpath.NewBoundedTable(g, shortestpath.BoundedOptions{
+			Reach:     thr.D,
+			MaxRows:   lazyMaxRows,
+			Landmarks: resolveLandmarks(landmarks),
+		})
+		if err != nil {
+			return nil, err
+		}
+		bt.Pin(ps.Nodes())
+		return bt, nil
 	default:
-		return nil, fmt.Errorf("core: unknown distance backend %q (want auto, dense, or lazy)", b)
+		return nil, fmt.Errorf("core: unknown distance backend %q (want auto, dense, lazy, or bounded)", b)
 	}
 }

@@ -258,6 +258,24 @@ func TestBackendAutoSelection(t *testing.T) {
 	if _, ok := restored.Table().(*shortestpath.Table); !ok {
 		t.Errorf("after reset: got %T, want *shortestpath.Table", restored.Table())
 	}
+
+	// At the bounded threshold, auto picks the sparse bounded backend.
+	// Landmarks are disabled (Landmarks: -1): the balls on a d_t = 2 path
+	// graph are tiny, but 16 full landmark Dijkstras on 10⁵ nodes are not.
+	huge := pathInstance(t, DefaultBoundedThreshold, &Options{AllowTrivial: true, Landmarks: -1})
+	if _, ok := huge.Table().(*shortestpath.BoundedTable); !ok {
+		t.Errorf("auto at bounded threshold: got %T, want *shortestpath.BoundedTable", huge.Table())
+	}
+	// One node below the bounded threshold, auto still picks lazy.
+	below := pathInstance(t, DefaultBoundedThreshold-1, &Options{AllowTrivial: true})
+	if _, ok := below.Table().(*shortestpath.LazyTable); !ok {
+		t.Errorf("auto below bounded threshold: got %T, want *shortestpath.LazyTable", below.Table())
+	}
+	// An explicit bounded request works at any size.
+	explicitBounded := pathInstance(t, 32, &Options{AllowTrivial: true, DistBackend: BackendBounded})
+	if _, ok := explicitBounded.Table().(*shortestpath.BoundedTable); !ok {
+		t.Errorf("explicit bounded: got %T, want *shortestpath.BoundedTable", explicitBounded.Table())
+	}
 }
 
 func TestParseDistBackend(t *testing.T) {
@@ -269,6 +287,7 @@ func TestParseDistBackend(t *testing.T) {
 		{"auto", BackendAuto},
 		{"dense", BackendDense},
 		{"lazy", BackendLazy},
+		{"bounded", BackendBounded},
 	} {
 		got, err := ParseDistBackend(tc.in)
 		if err != nil || got != tc.want {
@@ -307,7 +326,7 @@ func TestBackendOptionValidation(t *testing.T) {
 		t.Error("mismatched supplied table accepted, want error")
 	}
 
-	if _, err := newDistanceSource(g, ps, &Options{DistBackend: DistBackend("bogus")}); err == nil {
+	if _, err := newDistanceSource(g, ps, thr, &Options{DistBackend: DistBackend("bogus")}); err == nil {
 		t.Error("bogus backend accepted, want error")
 	}
 }

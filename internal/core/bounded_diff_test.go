@@ -1,0 +1,380 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+	"msc/internal/shortestpath"
+	"msc/internal/telemetry"
+	"msc/internal/xrand"
+)
+
+// This file extends the backend-differential suite to the bounded sparse
+// backend. The bounded metric is declared to differ from dense/lazy in
+// exactly two ways — distances beyond d_t read +Inf, in-ball distances
+// are float32-quantized — and the solver only ever compares distances
+// against d_t, so placements must still be byte-identical. To make that a
+// hard equality rather than a probabilistic one, these tests use DYADIC
+// edge lengths (integer multiples of 2⁻¹⁰, magnitudes far below 2¹⁴):
+// every path sum is then exactly representable in float32 and float64
+// alike, so quantization is lossless and any divergence the suite sees is
+// a real truncation bug, not a rounding artifact. The production backend
+// accepts the ≈1e-7 relative quantization as its metric; the declared
+// contract lives in shortestpath.SparseSource.
+
+// dyadicConnectedGraph is randomConnectedGraph with every edge length
+// snapped to max(1, round(l·1024))/1024.
+func dyadicConnectedGraph(t *testing.T, n, extra int, rng *xrand.Rand) *graph.Graph {
+	t.Helper()
+	dyadic := func(l float64) float64 {
+		q := math.Round(l * 1024)
+		if q < 1 {
+			q = 1
+		}
+		return q / 1024
+	}
+	b := graph.NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), dyadic(0.1+rng.Float64()))
+	}
+	for e := 0; e < extra; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v), dyadic(0.1+rng.Float64()))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// boundedPair builds a dense-backed and a bounded-backed instance over
+// the same dyadic graph, pair set, threshold, and budget. maxRows caps
+// the bounded sparse-row cache so a third of the seeds exercise the
+// eviction path, exactly like the dense/lazy suite.
+func boundedPair(t *testing.T, n, m, k int, dt float64, rng *xrand.Rand, maxRows int) (dense, bounded *Instance) {
+	t.Helper()
+	g := dyadicConnectedGraph(t, n, 2*n, rng)
+	sampler := shortestpath.NewTable(g, 0)
+	ps, err := pairs.SampleViolating(sampler, dt, m, rng)
+	if err != nil {
+		t.Skipf("could not sample %d violating pairs: %v", m, err)
+	}
+	thr := failprob.Threshold{P: 1 - math.Exp(-dt), D: dt}
+	dense, err = NewInstance(g, ps, thr, k, &Options{AllowTrivial: true, DistBackend: BackendDense})
+	if err != nil {
+		t.Fatalf("NewInstance(dense): %v", err)
+	}
+	bounded, err = NewInstance(g, ps, thr, k, &Options{AllowTrivial: true, DistBackend: BackendBounded, LazyMaxRows: maxRows})
+	if err != nil {
+		t.Fatalf("NewInstance(bounded): %v", err)
+	}
+	return dense, bounded
+}
+
+// TestBackendDifferentialBoundedSolvers runs every solver on dense and
+// bounded instances across 24 seeds, serial and parallel, and requires
+// identical placements and identical backend-invariant counters. For the
+// bounded backend it additionally requires the CandidatesPruned total of
+// each solver run to be identical at every worker count (the counter is
+// accumulated serially while the near-candidate lists are built).
+func TestBackendDifferentialBoundedSolvers(t *testing.T) {
+	const seeds = 24
+	for seed := int64(0); seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := xrand.New(9700 + seed)
+			n := 13 + int(seed%5)
+			maxRows := 0
+			if seed%3 == 0 {
+				maxRows = 3
+			}
+			dense, bounded := boundedPair(t, n, 6, 3, 0.8, rng, maxRows)
+
+			// prunedBy[solver][workers] collects the bounded backend's
+			// CandidatesPruned delta per worker count.
+			prunedBy := map[string]map[int]int64{}
+			notePruned := func(solver string, workers int, v int64) {
+				if prunedBy[solver] == nil {
+					prunedBy[solver] = map[int]int64{}
+				}
+				prunedBy[solver][workers] = v
+			}
+
+			for _, workers := range []int{1, 8} {
+				workers := workers
+				t.Run(fmt.Sprintf("par%d", workers), func(t *testing.T) {
+					t.Run("greedy_sigma", func(t *testing.T) {
+						var dpl, bpl Placement
+						dc := runCounted(func() { dpl = GreedySigma(dense, Parallelism(workers)) })
+						before := telemetry.Global().Snapshot()
+						bc := runCounted(func() { bpl = GreedySigma(bounded, Parallelism(workers)) })
+						notePruned("greedy_sigma", workers, telemetry.Global().Snapshot().Sub(before).CandidatesPruned)
+						comparePlacements(t, "GreedySigma", dpl, bpl)
+						if dc != bc {
+							t.Errorf("GreedySigma counters differ beyond backend-variant set:\ndense   %+v\nbounded %+v", dc, bc)
+						}
+					})
+
+					t.Run("sandwich", func(t *testing.T) {
+						var dres, bres SandwichResult
+						dc := runCounted(func() { dres = Sandwich(dense, Parallelism(workers)) })
+						bc := runCounted(func() { bres = Sandwich(bounded, Parallelism(workers)) })
+						comparePlacements(t, "Sandwich.Best", dres.Best, bres.Best)
+						comparePlacements(t, "Sandwich.FMu", dres.FMu, bres.FMu)
+						comparePlacements(t, "Sandwich.FSigma", dres.FSigma, bres.FSigma)
+						comparePlacements(t, "Sandwich.FNu", dres.FNu, bres.FNu)
+						if dres.Ratio != bres.Ratio || dres.ApproxFactor != bres.ApproxFactor {
+							t.Errorf("sandwich guarantee differs: dense (%v, %v), bounded (%v, %v)",
+								dres.Ratio, dres.ApproxFactor, bres.Ratio, bres.ApproxFactor)
+						}
+						if dc != bc {
+							t.Errorf("Sandwich counters differ beyond backend-variant set:\ndense   %+v\nbounded %+v", dc, bc)
+						}
+					})
+
+					t.Run("ea", func(t *testing.T) {
+						dres := EA(dense, EAOptions{Iterations: 30, Parallelism: workers}, xrand.New(seed))
+						bres := EA(bounded, EAOptions{Iterations: 30, Parallelism: workers}, xrand.New(seed))
+						comparePlacements(t, "EA.Best", dres.Best, bres.Best)
+						if dres.Evaluations != bres.Evaluations {
+							t.Errorf("EA evaluations differ: dense %d, bounded %d", dres.Evaluations, bres.Evaluations)
+						}
+					})
+
+					t.Run("aea", func(t *testing.T) {
+						opts := AEAOptions{Iterations: 30, PopSize: 5, Delta: 0.05, RecordTrace: true, Parallelism: workers}
+						dres := AEA(dense, opts, xrand.New(seed))
+						bres := AEA(bounded, opts, xrand.New(seed))
+						comparePlacements(t, "AEA.Best", dres.Best, bres.Best)
+						if !reflect.DeepEqual(dres.Trace, bres.Trace) {
+							t.Errorf("AEA trace differs between backends")
+						}
+					})
+
+					t.Run("random_placement", func(t *testing.T) {
+						dpl, derr := RandomPlacement(dense, 25, xrand.New(seed), Parallelism(workers))
+						bpl, berr := RandomPlacement(bounded, 25, xrand.New(seed), Parallelism(workers))
+						if derr != nil || berr != nil {
+							t.Fatalf("RandomPlacement: dense err %v, bounded err %v", derr, berr)
+						}
+						comparePlacements(t, "RandomPlacement", dpl, bpl)
+					})
+
+					t.Run("local_search", func(t *testing.T) {
+						start := xrand.New(seed).SampleDistinct(dense.NumCandidates(), dense.K())
+						dpl := LocalSearch(dense, start, LocalSearchOptions{Parallelism: workers})
+						bpl := LocalSearch(bounded, start, LocalSearchOptions{Parallelism: workers})
+						comparePlacements(t, "LocalSearch", dpl, bpl)
+					})
+				})
+			}
+
+			for solver, byWorkers := range prunedBy {
+				if byWorkers[1] != byWorkers[8] {
+					t.Errorf("%s: CandidatesPruned depends on worker count: par1 %d, par8 %d",
+						solver, byWorkers[1], byWorkers[8])
+				}
+			}
+
+			t.Run("sigma_mu_nu", func(t *testing.T) {
+				r := xrand.New(9800 + seed)
+				for rep := 0; rep < 10; rep++ {
+					sel := r.SampleDistinct(dense.NumCandidates(), 1+r.Intn(3))
+					if ds, bs := dense.Sigma(sel), bounded.Sigma(sel); ds != bs {
+						t.Fatalf("σ(%v): dense %d, bounded %d", sel, ds, bs)
+					}
+					if dm, bm := dense.Mu(sel), bounded.Mu(sel); dm != bm {
+						t.Fatalf("μ(%v): dense %v, bounded %v", sel, dm, bm)
+					}
+					if dn, bn := dense.Nu(sel), bounded.Nu(sel); dn != bn {
+						t.Fatalf("ν(%v): dense %v, bounded %v", sel, dn, bn)
+					}
+					for _, w := range []int{2, 8} {
+						if ds, bs := dense.SigmaPar(sel, w), bounded.SigmaPar(sel, w); ds != bs {
+							t.Fatalf("σ_par(%v, %d): dense %d, bounded %d", sel, w, ds, bs)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestBackendDifferentialBoundedCommonNode runs the MSC-CN reduction on
+// dense and bounded backends over common-node instances.
+func TestBackendDifferentialBoundedCommonNode(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := xrand.New(9900 + seed)
+		n := 14 + int(seed%4)
+		g := dyadicConnectedGraph(t, n, 2*n, rng)
+		sampler := shortestpath.NewTable(g, 0)
+		u := graph.NodeID(rng.Intn(n))
+		ps, err := pairs.SampleViolatingWithCommonNode(sampler, 0.8, 5, u, rng)
+		if err != nil {
+			continue // this graph has too few violating pairs through u
+		}
+		thr := failprob.Threshold{P: 1 - math.Exp(-0.8), D: 0.8}
+		dense, err := NewInstance(g, ps, thr, 2, &Options{AllowTrivial: true, DistBackend: BackendDense})
+		if err != nil {
+			t.Fatalf("seed %d: NewInstance(dense): %v", seed, err)
+		}
+		bounded, err := NewInstance(g, ps, thr, 2, &Options{AllowTrivial: true, DistBackend: BackendBounded})
+		if err != nil {
+			t.Fatalf("seed %d: NewInstance(bounded): %v", seed, err)
+		}
+		dres, derr := SolveCommonNode(dense)
+		bres, berr := SolveCommonNode(bounded)
+		if derr != nil || berr != nil {
+			t.Fatalf("seed %d: SolveCommonNode: dense err %v, bounded err %v", seed, derr, berr)
+		}
+		comparePlacements(t, "SolveCommonNode", dres.Placement, bres.Placement)
+		if dres.Common != bres.Common || dres.Coverage != bres.Coverage {
+			t.Errorf("seed %d: common/coverage differ: dense (%d, %d), bounded (%d, %d)",
+				seed, dres.Common, dres.Coverage, bres.Common, bres.Coverage)
+		}
+	}
+}
+
+// TestBoundedQuickProperty is the testing/quick property of the tentpole:
+// for random dyadic graphs and random thresholds, an instance on the
+// bounded backend reports the same σ values and the same per-candidate
+// gains arrays as one on the dense table.
+func TestBoundedQuickProperty(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8, dtRaw uint16) bool {
+		rng := xrand.New(int64(7000) + seed)
+		n := 8 + int(nRaw%10)
+		m := 3 + int(mRaw%4)
+		dt := 0.3 + float64(dtRaw%1024)/1024 // [0.3, 1.3): spans ball sizes from tiny to most-of-graph
+		g := dyadicConnectedGraph(t, n, 2*n, rng)
+		sampler := shortestpath.NewTable(g, 0)
+		ps, err := pairs.SampleViolating(sampler, dt, m, rng)
+		if err != nil {
+			return true // too few violating pairs at this threshold — vacuous
+		}
+		thr := failprob.Threshold{P: 1 - math.Exp(-dt), D: dt}
+		dense, err := NewInstance(g, ps, thr, 2, &Options{AllowTrivial: true, DistBackend: BackendDense})
+		if err != nil {
+			t.Fatalf("NewInstance(dense): %v", err)
+		}
+		bounded, err := NewInstance(g, ps, thr, 2, &Options{AllowTrivial: true, DistBackend: BackendBounded})
+		if err != nil {
+			t.Fatalf("NewInstance(bounded): %v", err)
+		}
+		ds, bs := dense.NewSearch(nil), bounded.NewSearch(nil)
+		for round := 0; ; round++ {
+			dg := append([]int(nil), ds.GainsAdd()...)
+			bg := bs.GainsAdd()
+			if !reflect.DeepEqual(dg, bg) {
+				t.Logf("gains diverge (n=%d m=%d dt=%v round=%d)", n, m, dt, round)
+				return false
+			}
+			if ds.Sigma() != bs.Sigma() {
+				t.Logf("σ diverges: dense %d, bounded %d", ds.Sigma(), bs.Sigma())
+				return false
+			}
+			cand, gain := ds.BestAdd()
+			bcand, bgain := bs.BestAdd()
+			if cand != bcand || gain != bgain {
+				t.Logf("BestAdd diverges: dense (%d,%d), bounded (%d,%d)", cand, gain, bcand, bgain)
+				return false
+			}
+			if round == 2 || gain <= 0 {
+				return true
+			}
+			ds.Add(cand)
+			bs.Add(cand)
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSparseBestAddMatchesDense lowers sparseGainsThreshold so small
+// instances take the sparse BestAdd aggregation, and differential-checks
+// full GreedySigma runs (and the counter invariant) against the dense
+// argmax path on the same bounded instance.
+func TestSparseBestAddMatchesDense(t *testing.T) {
+	old := sparseGainsThreshold
+	defer func() { sparseGainsThreshold = old }()
+
+	for seed := int64(0); seed < 10; seed++ {
+		rng := xrand.New(8800 + seed)
+		sparseGainsThreshold = 1 << 26 // dense argmax path first
+		dense, bounded := boundedPair(t, 14+int(seed%4), 6, 3, 0.8, rng, 0)
+		densePl := GreedySigma(dense, Parallelism(1))
+		refPl := GreedySigma(bounded, Parallelism(1))
+
+		sparseGainsThreshold = 1 // every search flips to bestAddSparse
+		for _, workers := range []int{1, 8} {
+			var pl Placement
+			before := telemetry.Global().Snapshot()
+			pl = GreedySigma(bounded, Parallelism(workers))
+			delta := telemetry.Global().Snapshot().Sub(before)
+			comparePlacements(t, "GreedySigma sparse-vs-dense-argmax", refPl, pl)
+			comparePlacements(t, "GreedySigma sparse-vs-dense-backend", densePl, pl)
+			if delta.CandidateEvals == 0 || delta.PairsRescanned == 0 {
+				t.Errorf("seed %d: sparse BestAdd did not account its scan work: %+v", seed, delta)
+			}
+		}
+		// The sparse path must also hold on the lazy backend (it is how
+		// the full-universe lazy baseline stays runnable at n=10⁵).
+		g := dense.Graph()
+		lazy, err := NewInstance(g, dense.Pairs(), dense.Threshold(), dense.K(),
+			&Options{AllowTrivial: true, DistBackend: BackendLazy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := GreedySigma(lazy, Parallelism(1))
+		comparePlacements(t, "GreedySigma lazy sparse", densePl, pl)
+	}
+}
+
+// TestBoundedRejectsNaNThreshold pins the satellite contract: a NaN d_t
+// under the bounded backend is a typed input error at instance
+// construction, not a silent full-graph exploration.
+func TestBoundedRejectsNaNThreshold(t *testing.T) {
+	rng := xrand.New(41)
+	g := dyadicConnectedGraph(t, 12, 24, rng)
+	ps := pairs.MustNewSet(12, []pairs.Pair{{U: 0, W: 11}, {U: 1, W: 10}, {U: 2, W: 9}})
+	thr := failprob.Threshold{P: 0.5, D: math.NaN()}
+	_, err := NewInstance(g, ps, thr, 1, &Options{AllowTrivial: true, DistBackend: BackendBounded})
+	var ie *InputError
+	if !errors.As(err, &ie) {
+		t.Fatalf("NaN threshold: got %v, want *InputError", err)
+	}
+}
+
+// TestBoundedRejectsLengthCostModel: length prices need full-range
+// distances, which the bounded metric deliberately truncates.
+func TestBoundedRejectsLengthCostModel(t *testing.T) {
+	rng := xrand.New(42)
+	g := dyadicConnectedGraph(t, 12, 24, rng)
+	ps := pairs.MustNewSet(12, []pairs.Pair{{U: 0, W: 11}, {U: 1, W: 10}, {U: 2, W: 9}})
+	thr := failprob.Threshold{P: 1 - math.Exp(-0.8), D: 0.8}
+	_, err := NewInstance(g, ps, thr, 1, &Options{
+		AllowTrivial: true, DistBackend: BackendBounded,
+		Budget: 2, CostModel: CostLength,
+	})
+	var ie *InputError
+	if !errors.As(err, &ie) {
+		t.Fatalf("length cost on bounded backend: got %v, want *InputError", err)
+	}
+	// The same configuration on the lazy backend stays valid.
+	if _, err := NewInstance(g, ps, thr, 1, &Options{
+		AllowTrivial: true, DistBackend: BackendLazy,
+		Budget: 2, CostModel: CostLength,
+	}); err != nil {
+		t.Fatalf("length cost on lazy backend: %v", err)
+	}
+}

@@ -35,6 +35,33 @@ func (inst *Instance) buildBounds() {
 	})
 }
 
+// maxBoundCandidates caps the candidate universe for which the μ/ν
+// coverage structures may be materialized: buildMuSets/buildNuSets
+// allocate one bitset per candidate pair, O(n²) of them, which is fine at
+// paper scale but multiple terabytes at n=10⁶. Above the cap (t ≈ 4100
+// candidate nodes) BoundsTractable reports false and round-event
+// diagnostics skip μ/ν with a -1 sentinel instead of crashing the solve.
+// Solvers that *need* the bounds (sandwich, mu, nu) still build them
+// unconditionally — at that scale they were never feasible.
+const maxBoundCandidates = 8 << 20
+
+// BoundsTractable reports whether the μ/ν coverage structures can be
+// materialized within a sane memory budget (~hundreds of MB, not TB).
+func (inst *Instance) BoundsTractable() bool {
+	return inst.numCand <= maxBoundCandidates
+}
+
+// diagBounds returns μ/ν of a selection for round-event diagnostics, or
+// the (-1, -1) sentinel when building the coverage structures is
+// intractable. Telemetry must never force an O(n²) allocation the solve
+// itself does not need.
+func diagBounds(p Problem, sel []int) (mu, nu float64) {
+	if !p.BoundsTractable() {
+		return -1, -1
+	}
+	return p.Mu(sel), p.Nu(sel)
+}
+
 func (inst *Instance) buildMuSets() {
 	m := inst.ps.Len()
 	inst.muSets = make([]*bitset.Set, inst.numCand)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"msc/internal/shortestpath"
 	"msc/internal/xrand"
 )
 
@@ -157,6 +158,12 @@ func (inst *Instance) initBudget(opts *Options) error {
 	case CostLength:
 		if costs != nil {
 			return &InputError{Param: "costs", Reason: `explicit per-candidate costs conflict with cost model "length"`}
+		}
+		if _, ok := inst.table.(shortestpath.SparseSource); ok {
+			// Length prices are min(d(u,v), d_t): they need full-range
+			// distances, and a bounded backend deliberately reports +Inf
+			// beyond its reach — every candidate would price at d_t.
+			return &InputError{Param: "cost-model", Reason: `cost model "length" needs full-range distances; use the dense or lazy distance backend`}
 		}
 		// The price table is materialized lazily on the first Cost call
 		// (it reads one distance per candidate pair, which on the lazy

@@ -181,6 +181,7 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 			obs.ObserveRound(time.Since(start))
 		}
 		if opts.Sink != nil {
+			mu, nu := diagBounds(p, child)
 			opts.Sink.Emit(telemetry.RoundEvent{
 				Algorithm:  "ea",
 				Round:      iter,
@@ -188,8 +189,8 @@ func EA(p Problem, opts EAOptions, rng *xrand.Rand) EAResult {
 				Sigma:      bestFeasible.sigma,
 				Selected:   len(child),
 				Candidates: numCand,
-				Mu:         p.Mu(child),
-				Nu:         p.Nu(child),
+				Mu:         mu,
+				Nu:         nu,
 				ElapsedNS:  time.Since(start).Nanoseconds(),
 			})
 		}

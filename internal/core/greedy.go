@@ -107,6 +107,7 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 		rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped := lastEvalStats(s)
 		obs.ObserveRound(time.Since(start))
 		sigma, sigmaWorst := sigmaParts(s)
+		mu, nu := diagBounds(p, sel)
 		cfg.sink.Emit(telemetry.RoundEvent{
 			Algorithm:      "greedy_sigma",
 			Round:          round,
@@ -116,8 +117,8 @@ func GreedySigma(p Problem, opts ...Option) Placement {
 			SigmaWorst:     sigmaWorst,
 			Selected:       len(sel),
 			Candidates:     p.NumCandidates(),
-			Mu:             p.Mu(sel),
-			Nu:             p.Nu(sel),
+			Mu:             mu,
+			Nu:             nu,
 			ElapsedNS:      time.Since(start).Nanoseconds(),
 			ShardMinNS:     minNS,
 			ShardMaxNS:     maxNS,
@@ -203,6 +204,7 @@ func greedySigmaBudget(bp BudgetProblem, cfg solveConfig) Placement {
 			minNS, maxNS, shards := lastScanShards(s)
 			rowsMerged, rowsUnchanged, pairsRescanned, pairsSkipped := lastEvalStats(s)
 			sigma, sigmaWorst := sigmaParts(s)
+			mu, nu := diagBounds(bp, sel)
 			cfg.sink.Emit(telemetry.RoundEvent{
 				Algorithm:      "greedy_sigma",
 				Round:          round,
@@ -212,8 +214,8 @@ func greedySigmaBudget(bp BudgetProblem, cfg solveConfig) Placement {
 				SigmaWorst:     sigmaWorst,
 				Selected:       len(sel),
 				Candidates:     bp.NumCandidates(),
-				Mu:             bp.Mu(sel),
-				Nu:             bp.Nu(sel),
+				Mu:             mu,
+				Nu:             nu,
 				ElapsedNS:      time.Since(start).Nanoseconds(),
 				ShardMinNS:     minNS,
 				ShardMaxNS:     maxNS,

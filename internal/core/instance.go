@@ -68,6 +68,10 @@ type Problem interface {
 	Mu(sel []int) float64
 	// Nu evaluates the submodular upper bound ν (§V-B2).
 	Nu(sel []int) float64
+	// BoundsTractable reports whether the μ/ν coverage structures fit in
+	// memory; when false, diagnostics must not call Mu/Nu (they would
+	// allocate O(n²) candidate sets).
+	BoundsTractable() bool
 	// MuProblem returns μ as a max-coverage instance with budget k.
 	MuProblem() maxcover.Problem
 	// NuProblem returns ν as a weighted max-coverage instance with budget k.
@@ -212,7 +216,13 @@ type Options struct {
 	Parallelism int
 	// LazyMaxRows caps the lazy backend's cached non-pinned rows; 0 means
 	// unbounded. Social-pair endpoint rows are always pinned and exempt.
+	// The bounded backend applies the same cap to its sparse rows.
 	LazyMaxRows int
+	// Landmarks is the ALT landmark count the bounded backend precomputes
+	// for triangle-inequality lower bounds: 0 resolves through the
+	// process default (SetDefaultLandmarks) to DefaultLandmarks, negative
+	// disables the layer. Ignored by the dense and lazy backends.
+	Landmarks int
 	// EvalMode selects how searches built from the instance maintain their
 	// state across Add commits: incremental O(n) row merges with delta
 	// gains rescans (the default), or the full-rebuild reference path.
@@ -273,7 +283,7 @@ func NewInstance(g *graph.Graph, ps *pairs.Set, thr failprob.Threshold, k int, o
 	if ps.Len() <= k && (opts == nil || !opts.AllowTrivial) {
 		return nil, fmt.Errorf("%w: m=%d, k=%d", ErrTrivial, ps.Len(), k)
 	}
-	table, err := newDistanceSource(g, ps, opts)
+	table, err := newDistanceSource(g, ps, thr, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -92,6 +92,7 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 		if opts.Sink != nil {
 			e := p.CandidateEdge(bestAdd)
 			sigma, sigmaWorst := sigmaParts(s)
+			mu, nu := diagBounds(p, cur)
 			opts.Sink.Emit(telemetry.RoundEvent{
 				Algorithm:  "local_search",
 				Round:      iter,
@@ -101,8 +102,8 @@ func LocalSearch(p Problem, start []int, opts LocalSearchOptions) Placement {
 				SigmaWorst: sigmaWorst,
 				Selected:   len(cur),
 				Candidates: p.NumCandidates(),
-				Mu:         p.Mu(cur),
-				Nu:         p.Nu(cur),
+				Mu:         mu,
+				Nu:         nu,
 				ElapsedNS:  time.Since(start).Nanoseconds(),
 			})
 		}

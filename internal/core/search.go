@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 	"time"
 
 	"msc/internal/graph"
@@ -103,6 +104,37 @@ type instSearch struct {
 	deltaOff   []int32 // deltaPos offsets, one extra leading 0
 	deltaPos   []int32 // arena of per-pair merged changed-position lists
 
+	// Pruned-scan state. pruneScan restricts each cold-scan pair to its
+	// near-candidate list (the candidates within d_t of either endpoint):
+	// a candidate cell (a,b) can only gain through ru[a]+rw[b] ≤ d_t or
+	// ru[b]+rw[a] ≤ d_t, and with non-negative distances both summands of
+	// a passing term are themselves ≤ d_t, so every gaining cell has both
+	// endpoints in the list — scanning the list's triangle is exactly
+	// equivalent to the full grid. On a sparse (bounded) backend the
+	// lists are the d_t-balls and the saving is the whole point; the
+	// candidate universe it skips feeds the CandidatesPruned counter,
+	// accumulated while the lists are built (serially), so the total is
+	// identical at every worker count. sparseBest additionally replaces
+	// the dense gains array — numCand ints, ~40 GB at n=10⁵ — with a
+	// sparse aggregation in BestAdd.
+	pruneScan  bool
+	sparseBest bool
+	candUOff   []int   // per-unsat-pair offsets into candU (len(unsat)+1)
+	candU      []int32 // arena: near-candidate positions, ascending per pair
+	// Sparse BestAdd scratch: the inverse near-list index (for each
+	// candidate position, which unsat pairs list it and where) and the
+	// per-worker gain accumulators.
+	byAOff  []int32         // per-position offsets into byAPair (t+1)
+	byAPair []int32         // arena: unsat-pair ordinals listing each position
+	accW    []sparseScratch // per-worker accumulator scratch, sized lazily
+	// Per-pair distance-sorted balls: for unsat pair ui, segment 2·ui is
+	// the u-ball (positions with ru ≤ d_t, ascending by ru) and segment
+	// 2·ui+1 the w-ball (ascending by rw), so "every b with
+	// rw[b] ≤ d_t − ru[a]" is a prefix instead of a filtered scan.
+	prefOff  []int
+	prefPos  []int32
+	prefDist []float64
+
 	// EvalStats accumulators, drained by LastEvalStats.
 	evRowsMerged, evRowsUnchanged    int64
 	evPairsRescanned, evPairsSkipped int64
@@ -154,6 +186,9 @@ func (inst *Instance) newSearchState(sel []int) *instSearch {
 		endpoints:   inst.ps.Nodes(),
 		incremental: inst.evalMode == EvalIncremental,
 	}
+	_, sparse := inst.table.(shortestpath.SparseSource)
+	s.pruneScan = sparse || inst.numCand >= sparseGainsThreshold
+	s.sparseBest = s.pruneScan && inst.numCand >= sparseGainsThreshold
 	rowIdx := make(map[graph.NodeID]int, len(s.endpoints))
 	for i, e := range s.endpoints {
 		rowIdx[e] = i
@@ -362,6 +397,9 @@ func (s *instSearch) GainAdd(cand int) int {
 // zero-length edge is already reflected in d_F. On a degenerate instance
 // with an empty candidate universe it returns (-1, 0).
 func (s *instSearch) BestAdd() (cand, gain int) {
+	if s.sparseBest {
+		return s.bestAddSparse()
+	}
 	gains := s.GainsAdd()
 	if len(gains) == 0 {
 		return -1, 0
@@ -373,6 +411,298 @@ func (s *instSearch) BestAdd() (cand, gain int) {
 		}
 	}
 	return best, bestGain
+}
+
+// sparseGainsThreshold is the candidate-universe size at and above which
+// BestAdd aggregates sparse gain cells instead of materializing the dense
+// gains array (numCand ints — 40 GB at n=10⁵ with the full universe). A
+// package variable so tests can lower it and differential-check the two
+// paths on small instances.
+var sparseGainsThreshold = 1 << 26
+
+// sparseScratch is one worker's accumulator state for the sparse
+// BestAdd: gain sums per candidate position for the ai row being
+// scanned, an epoch stamp marking which entries of acc are live, and the
+// list of stamped positions for the argmax pass.
+type sparseScratch struct {
+	acc     []int
+	stamp   []int32
+	touched []int32
+}
+
+// bestAddSparse is BestAdd for huge candidate universes: instead of a
+// dense gains array (numCand ints) it aggregates gains one grid row at a
+// time. For each near-candidate position ai it visits — via the inverse
+// index built from the near lists — every (unsat pair, passing cell
+// (ai, bj)) contribution, summing weights into a per-position
+// accumulator, then argmaxes the row and moves on; peak memory is O(t)
+// per worker instead of O(t²). The passing b's for a fixed pair and a
+// are enumerated as two distance-sorted prefixes (rw[b] ≤ d_t − ru[a]
+// over the w-ball, ru[b] ≤ d_t − rw[a] over the u-ball, the second
+// skipping cells the first already counted), so the walk touches only
+// gaining cells, not the whole near-list triangle. The visited cells are
+// exactly the nonzero cells of the dense scan (see the pruneScan
+// invariant) and the sums are exact integer adds, so the result matches
+// the dense argmax, including the (0, 0) answer of an all-zero scan.
+// Workers split the ai range by equal inverse-index load; each keeps a
+// local best and the combine is a total order on (gain desc, cell index
+// asc), so the answer is identical at every worker count. Counter
+// discipline mirrors a cold scan: CandidateEvals advances by the logical
+// universe size, PairsRescanned by the unsatisfied pair count,
+// CandidatesPruned by the skipped cells.
+func (s *instSearch) bestAddSparse() (cand, gain int) {
+	telemetry.Global().CandidateEvals.Add(int64(s.inst.numCand))
+	if s.inst.numCand == 0 {
+		return -1, 0
+	}
+	dt := s.inst.thr.D
+	s.unsat = s.unsat[:0]
+	for i := range s.pairDist {
+		if s.pairDist[i] > dt {
+			s.unsat = append(s.unsat, i)
+		}
+	}
+	telemetry.Global().PairsRescanned.Add(int64(len(s.unsat)))
+	s.evPairsRescanned += int64(len(s.unsat))
+	obs.ObserveMerge(0, int64(len(s.unsat)))
+	s.buildCandU()
+	s.buildByA()
+	s.buildPrefixes()
+	nodes := s.inst.candNodes
+	t := len(nodes)
+
+	workers := s.workers
+	if workers > t {
+		workers = t
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if len(s.accW) < workers {
+		s.accW = append(s.accW, make([]sparseScratch, workers-len(s.accW))...)
+	}
+	bounds := s.byALoadBounds(workers)
+	bestIdx := make([]int, workers)
+	bestGain := make([]int, workers)
+	ParallelFor(workers, workers, func(w, _, _ int) {
+		sc := &s.accW[w]
+		if len(sc.acc) < t {
+			sc.acc = make([]int, t)
+			sc.stamp = make([]int32, t)
+		}
+		acc, stamp := sc.acc, sc.stamp
+		touched := sc.touched[:0]
+		epoch := int32(0)
+		best, bg := -1, 0
+		for ai := bounds[w]; ai < bounds[w+1]; ai++ {
+			lo, hi := s.byAOff[ai], s.byAOff[ai+1]
+			if lo == hi {
+				continue
+			}
+			if s.interrupted() {
+				break
+			}
+			epoch++
+			if epoch == 1 {
+				// First use (or int32 wraparound on reuse): clear the stamps
+				// so stale marks can never alias the new epoch sequence.
+				for i := range stamp {
+					stamp[i] = 0
+				}
+			}
+			touched = touched[:0]
+			a := nodes[ai]
+			for k := lo; k < hi; k++ {
+				ui := s.byAPair[k]
+				i := s.unsat[ui]
+				w := int(s.inst.weights[i])
+				ru := s.rows[s.pairU[i]]
+				rw := s.rows[s.pairW[i]]
+				ca := dt - ru[a]
+				cb := dt - rw[a]
+				// b's satisfying ru[a] + rw[b] ≤ d_t: a prefix of the
+				// w-ball in ascending-rw order.
+				pos := s.prefPos[s.prefOff[2*ui+1]:s.prefOff[2*ui+2]]
+				dist := s.prefDist[s.prefOff[2*ui+1]:s.prefOff[2*ui+2]]
+				for j := 0; j < len(pos); j++ {
+					if dist[j] > ca {
+						break
+					}
+					bj := pos[j]
+					if int(bj) <= ai {
+						continue // cell owned by the lower position's row
+					}
+					if stamp[bj] != epoch {
+						stamp[bj] = epoch
+						acc[bj] = w
+						touched = append(touched, bj)
+					} else {
+						acc[bj] += w
+					}
+				}
+				// b's satisfying rw[a] + ru[b] ≤ d_t, skipping those the
+				// first prefix already counted for this pair.
+				pos = s.prefPos[s.prefOff[2*ui]:s.prefOff[2*ui+1]]
+				dist = s.prefDist[s.prefOff[2*ui]:s.prefOff[2*ui+1]]
+				for j := 0; j < len(pos); j++ {
+					if dist[j] > cb {
+						break
+					}
+					bj := pos[j]
+					if int(bj) <= ai || rw[nodes[bj]] <= ca {
+						continue
+					}
+					if stamp[bj] != epoch {
+						stamp[bj] = epoch
+						acc[bj] = w
+						touched = append(touched, bj)
+					} else {
+						acc[bj] += w
+					}
+				}
+			}
+			base := rowStart(t, ai) - ai - 1
+			for _, bj := range touched {
+				g := acc[bj]
+				idx := base + int(bj)
+				if g > bg || (g == bg && (best < 0 || idx < best)) {
+					best, bg = idx, g
+				}
+			}
+		}
+		sc.touched = touched
+		bestIdx[w], bestGain[w] = best, bg
+	})
+	best, bg := 0, 0
+	for w := 0; w < workers; w++ {
+		if bestGain[w] > bg || (bestGain[w] == bg && bg > 0 && bestIdx[w] < best) {
+			best, bg = bestIdx[w], bestGain[w]
+		}
+	}
+	return best, bg
+}
+
+// buildByA inverts the near-candidate lists of buildCandU: for each
+// candidate position, the unsat-pair ordinals whose near list contains
+// it. Counting sort over the candU arena; byAOff is the prefix-sum
+// offset table.
+func (s *instSearch) buildByA() {
+	t := len(s.inst.candNodes)
+	if cap(s.byAOff) < t+1 {
+		s.byAOff = make([]int32, t+1)
+	}
+	off := s.byAOff[:t+1]
+	for i := range off {
+		off[i] = 0
+	}
+	for _, p := range s.candU {
+		off[p+1]++
+	}
+	for i := 0; i < t; i++ {
+		off[i+1] += off[i]
+	}
+	n := len(s.candU)
+	if cap(s.byAPair) < n {
+		s.byAPair = make([]int32, n)
+	}
+	s.byAPair = s.byAPair[:n]
+	fill := make([]int32, t)
+	for ui := 0; ui < len(s.unsat); ui++ {
+		u := s.candU[s.candUOff[ui]:s.candUOff[ui+1]]
+		for _, p := range u {
+			s.byAPair[off[p]+fill[p]] = int32(ui)
+			fill[p]++
+		}
+	}
+	s.byAOff = off
+}
+
+// prefixSorter orders a (position, distance) segment by ascending
+// distance; the relative order of equal distances is irrelevant — a
+// prefix cut at d_t − ru[a] keeps or drops them together.
+type prefixSorter struct {
+	pos  []int32
+	dist []float64
+}
+
+func (p prefixSorter) Len() int           { return len(p.pos) }
+func (p prefixSorter) Less(i, j int) bool { return p.dist[i] < p.dist[j] }
+func (p prefixSorter) Swap(i, j int) {
+	p.pos[i], p.pos[j] = p.pos[j], p.pos[i]
+	p.dist[i], p.dist[j] = p.dist[j], p.dist[i]
+}
+
+// buildPrefixes fills the per-pair distance-sorted balls backing the
+// prefix walks of bestAddSparse: for each unsat pair, the positions
+// within d_t of u sorted by ru, then those within d_t of w sorted by rw.
+func (s *instSearch) buildPrefixes() {
+	dt := s.inst.thr.D
+	nodes := s.inst.candNodes
+	s.prefOff = s.prefOff[:0]
+	s.prefPos = s.prefPos[:0]
+	s.prefDist = s.prefDist[:0]
+	for ui, i := range s.unsat {
+		u := s.candU[s.candUOff[ui]:s.candUOff[ui+1]]
+		for _, side := range [2]*[]float64{&s.rows[s.pairU[i]], &s.rows[s.pairW[i]]} {
+			r := *side
+			start := len(s.prefPos)
+			s.prefOff = append(s.prefOff, start)
+			for _, p := range u {
+				if d := r[nodes[p]]; d <= dt {
+					s.prefPos = append(s.prefPos, p)
+					s.prefDist = append(s.prefDist, d)
+				}
+			}
+			sort.Sort(prefixSorter{s.prefPos[start:], s.prefDist[start:]})
+		}
+	}
+	s.prefOff = append(s.prefOff, len(s.prefPos))
+}
+
+// byALoadBounds splits the candidate-position range into worker shards of
+// roughly equal inverse-index load (the per-position near-list entry
+// counts, which is what the row scans cost).
+func (s *instSearch) byALoadBounds(workers int) []int {
+	t := len(s.inst.candNodes)
+	total := int64(len(s.byAPair))
+	bounds := make([]int, workers+1)
+	bounds[workers] = t
+	ai := 0
+	for w := 1; w < workers; w++ {
+		target := total * int64(w) / int64(workers)
+		for ai < t && int64(s.byAOff[ai]) < target {
+			ai++
+		}
+		bounds[w] = ai
+	}
+	return bounds
+}
+
+// buildCandU fills the per-pair near-candidate lists for the pairs in
+// unsat: the candidate positions within d_t of either pair endpoint, in
+// ascending position order. Runs serially; the cells it proves zero-gain
+// feed CandidatesPruned here, which keeps the counter identical at every
+// worker count.
+func (s *instSearch) buildCandU() {
+	nodes := s.inst.candNodes
+	dt := s.inst.thr.D
+	s.candUOff = s.candUOff[:0]
+	s.candU = s.candU[:0]
+	pruned := int64(0)
+	for _, i := range s.unsat {
+		ru := s.rows[s.pairU[i]]
+		rw := s.rows[s.pairW[i]]
+		s.candUOff = append(s.candUOff, len(s.candU))
+		for ci, x := range nodes {
+			if ru[x] <= dt || rw[x] <= dt {
+				s.candU = append(s.candU, int32(ci))
+			}
+		}
+		u := int64(len(s.candU) - s.candUOff[len(s.candUOff)-1])
+		pruned += int64(s.inst.numCand) - u*(u-1)/2
+	}
+	s.candUOff = append(s.candUOff, len(s.candU))
+	telemetry.Global().CandidatesPruned.Add(pruned)
 }
 
 // GainsAdd computes the σ gain of every candidate addition. The returned
@@ -426,7 +756,12 @@ func (s *instSearch) coldScan() {
 	telemetry.Global().PairsRescanned.Add(int64(len(s.unsat)))
 	s.evPairsRescanned += int64(len(s.unsat))
 	obs.ObserveMerge(0, int64(len(s.unsat)))
-	if s.gainsBody == nil {
+	if s.pruneScan {
+		s.buildCandU()
+		if s.gainsBody == nil {
+			s.gainsBody = s.gainsPrunedRows
+		}
+	} else if s.gainsBody == nil {
 		s.gainsBody = s.gainsRows // method value; built once, reused warm
 	}
 	s.scanShardsRun(s.gainsBody)
@@ -461,6 +796,48 @@ func (s *instSearch) gainsRows(aiLo, aiHi int) {
 					s.gains[idx] += w
 				}
 				idx++
+			}
+		}
+	}
+}
+
+// gainsPrunedRows is gainsRows restricted to each pair's near-candidate
+// list (buildCandU must have run for the current unsat set): only cells
+// with both endpoints in the list can gain, so walking the list's
+// triangle — clipped to grid rows [aiLo, aiHi), the same shard ownership
+// as the dense scan — writes exactly the cells the dense scan would
+// increment, in the same per-pair order. The gains array is bit-identical
+// at every worker count and to the unpruned scan.
+func (s *instSearch) gainsPrunedRows(aiLo, aiHi int) {
+	if aiLo >= aiHi {
+		return
+	}
+	nodes := s.inst.candNodes
+	t := len(nodes)
+	dt := s.inst.thr.D
+	for ui, i := range s.unsat {
+		if s.interrupted() {
+			return
+		}
+		w := int(s.inst.weights[i])
+		ru := s.rows[s.pairU[i]]
+		rw := s.rows[s.pairW[i]]
+		u := s.candU[s.candUOff[ui]:s.candUOff[ui+1]]
+		lo := sort.Search(len(u), func(j int) bool { return int(u[j]) >= aiLo })
+		for x := lo; x < len(u); x++ {
+			ai := int(u[x])
+			if ai >= aiHi {
+				break
+			}
+			a := nodes[ai]
+			ca := dt - ru[a]
+			cb := dt - rw[a]
+			base := rowStart(t, ai) - ai - 1
+			for _, bj := range u[x+1:] {
+				b := nodes[bj]
+				if rw[b] <= ca || ru[b] <= cb {
+					s.gains[base+int(bj)] += w
+				}
 			}
 		}
 	}

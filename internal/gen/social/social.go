@@ -21,6 +21,7 @@ package social
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"msc/internal/geom"
 	"msc/internal/graph"
@@ -68,6 +69,31 @@ func DefaultConfig() Config {
 		ConnectRadiusMeters: 200,
 		FailureAtRadius:     0.45,
 	}
+}
+
+// ScaledConfig scales DefaultConfig to a target user count at constant
+// check-in density: venues grow linearly with users (same crowd per
+// venue) and the downtown square's side grows as √scale (same venues per
+// km²), while the physical constants — connect radius, venue scatter,
+// solo fraction, failure-at-radius — stay at the paper's values, since
+// they describe radios and restaurants, not city size. The result keeps
+// the §VII-D structure (dense venue islands, sparse bridges) at
+// Gowalla-city scale and beyond; ScaledConfig(134) is DefaultConfig()
+// exactly, and non-positive users fall back to the defaults too.
+func ScaledConfig(users int) Config {
+	cfg := DefaultConfig()
+	if users <= 0 {
+		return cfg
+	}
+	scale := float64(users) / float64(cfg.Users)
+	cfg.Users = users
+	if v := int(math.Round(float64(cfg.Venues) * scale)); v >= 1 {
+		cfg.Venues = v
+	} else {
+		cfg.Venues = 1
+	}
+	cfg.AreaMeters *= math.Sqrt(scale)
+	return cfg
 }
 
 // Network is a generated location-based social network.

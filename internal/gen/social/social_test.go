@@ -2,6 +2,7 @@ package social
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -36,6 +37,56 @@ func TestGenerateDefault(t *testing.T) {
 	}
 	if solo == 0 || solo == g.N() {
 		t.Fatalf("solo users = %d, want a strict fraction", solo)
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	if got, want := ScaledConfig(134), DefaultConfig(); got != want {
+		t.Fatalf("ScaledConfig(134) = %+v, want DefaultConfig %+v", got, want)
+	}
+	if got, want := ScaledConfig(0), DefaultConfig(); got != want {
+		t.Fatalf("ScaledConfig(0) = %+v, want DefaultConfig %+v", got, want)
+	}
+	big := ScaledConfig(13400) // 100× the paper's subgraph
+	def := DefaultConfig()
+	if big.Users != 13400 {
+		t.Fatalf("users = %d", big.Users)
+	}
+	if big.Venues != 100*def.Venues {
+		t.Fatalf("venues = %d, want %d (linear in users)", big.Venues, 100*def.Venues)
+	}
+	if got, want := big.AreaMeters, def.AreaMeters*10; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("area side = %v, want %v (√scale)", got, want)
+	}
+	// Physical constants stay fixed at any scale.
+	if big.ConnectRadiusMeters != def.ConnectRadiusMeters ||
+		big.VenueScatterMeters != def.VenueScatterMeters ||
+		big.SoloFraction != def.SoloFraction ||
+		big.FailureAtRadius != def.FailureAtRadius {
+		t.Fatalf("physical constants drifted: %+v", big)
+	}
+	if tiny := ScaledConfig(3); tiny.Venues < 1 {
+		t.Fatalf("tiny scale lost all venues: %+v", tiny)
+	}
+}
+
+func TestScaledConfigGenerates(t *testing.T) {
+	// A 5× city must still generate: same density, bigger downtown.
+	cfg := ScaledConfig(670)
+	net, err := Generate(cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Graph.N() != 670 {
+		t.Fatalf("users = %d", net.Graph.N())
+	}
+	if len(net.VenueCenters) != cfg.Venues {
+		t.Fatalf("venues = %d, want %d", len(net.VenueCenters), cfg.Venues)
+	}
+	// Density preserved ⇒ degree stays in the defaults' ballpark rather
+	// than growing with n.
+	if avg := 2 * float64(net.Graph.M()) / 670; avg < 4 || avg > 120 {
+		t.Fatalf("average degree %.1f outside the constant-density band", avg)
 	}
 }
 

@@ -199,10 +199,10 @@ func TestReadEdgeListTypedErrors(t *testing.T) {
 		in   string
 		line int
 	}{
-		{"0 0 0.1\n", 1},                // self-loop
-		{"-3 1 0.1\n", 1},               // negative id
-		{"0 1 NaN\n", 1},                // NaN slips past < > comparisons
-		{"# c\n0 1 0.1\n0 1 0.2\n", 3},  // duplicate edge
+		{"0 0 0.1\n", 1},                  // self-loop
+		{"-3 1 0.1\n", 1},                 // negative id
+		{"0 1 NaN\n", 1},                  // NaN slips past < > comparisons
+		{"# c\n0 1 0.1\n0 1 0.2\n", 3},    // duplicate edge
 		{"0 1 0.1\n0 999999999 0.1\n", 2}, // id over cap
 	}
 	for i, tc := range cases {

@@ -1,0 +1,122 @@
+package graphio
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+)
+
+// WriteJSONStream encodes the same document shape as WriteJSON, but
+// straight from the graph through a buffered writer: no Document, no
+// []EdgeRecord, no encoder buffer holding the whole output. Peak extra
+// heap is one bufio block plus one number-formatting scratch buffer, so
+// a 10⁶-node instance streams to disk without a second O(E) copy of the
+// edge set (FromGraph + WriteJSON needs ~24 bytes per edge for records
+// plus the fully rendered JSON in the encoder's buffer before the first
+// byte reaches w).
+//
+// The output is decode-equal to WriteJSON — ReadJSON yields the same
+// Document either way — not byte-equal: numbers use shortest round-trip
+// formatting and the layout is one edge per line instead of the
+// indented encoder style. Field presence matches the Document
+// omitempty rules (coords/labels follow the graph, pairs only when ps
+// is non-nil, threshold and budget only when non-zero).
+func WriteJSONStream(w io.Writer, g *graph.Graph, ps *pairs.Set, pt float64, k int) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var scratch [32]byte
+	buf := scratch[:0]
+	writeInt := func(v int64) {
+		buf = strconv.AppendInt(buf[:0], v, 10)
+		bw.Write(buf)
+	}
+	var badFloat error
+	writeFloat := func(field string, f float64) {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			if badFloat == nil {
+				badFloat = jsonErr(field, "non-finite value %v", f)
+			}
+			f = 0 // keep the stream syntactically valid; the error wins
+		}
+		buf = strconv.AppendFloat(buf[:0], f, 'g', -1, 64)
+		bw.Write(buf)
+	}
+
+	bw.WriteString("{\"nodes\":")
+	writeInt(int64(g.N()))
+	if coords := g.Coords(); coords != nil {
+		bw.WriteString(",\n\"coords\":[")
+		for i, p := range coords {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString("\n[")
+			writeFloat("coords", p.X)
+			bw.WriteByte(',')
+			writeFloat("coords", p.Y)
+			bw.WriteByte(']')
+		}
+		bw.WriteString("]")
+	}
+	if labels := g.Labels(); labels != nil {
+		bw.WriteString(",\n\"labels\":[")
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteByte('\n')
+			quoted, err := json.Marshal(l)
+			if err != nil {
+				return err // unreachable: strings always marshal
+			}
+			bw.Write(quoted)
+		}
+		bw.WriteString("]")
+	}
+	bw.WriteString(",\n\"edges\":[")
+	for i, e := range g.Edges() {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n{\"u\":")
+		writeInt(int64(e.U))
+		bw.WriteString(",\"v\":")
+		writeInt(int64(e.V))
+		bw.WriteString(",\"p_fail\":")
+		writeFloat("edges.p_fail", failprob.ProbFromLength(e.Length))
+		bw.WriteByte('}')
+	}
+	bw.WriteString("]")
+	if ps != nil && ps.Len() > 0 {
+		bw.WriteString(",\n\"pairs\":[")
+		for i, p := range ps.Pairs() {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString("\n[")
+			writeInt(int64(p.U))
+			bw.WriteByte(',')
+			writeInt(int64(p.W))
+			bw.WriteByte(']')
+		}
+		bw.WriteString("]")
+	}
+	if pt != 0 {
+		bw.WriteString(",\n\"failure_threshold\":")
+		writeFloat("failure_threshold", pt)
+	}
+	if k != 0 {
+		bw.WriteString(",\n\"budget\":")
+		writeInt(int64(k))
+	}
+	bw.WriteString("}\n")
+	if badFloat != nil {
+		return badFloat
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,81 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"msc/internal/failprob"
+	"msc/internal/graph"
+	"msc/internal/pairs"
+)
+
+// TestWriteJSONStreamDecodeEqual is the streaming writer's contract: for
+// the same instance, ReadJSON must decode WriteJSONStream's output to the
+// exact Document FromGraph would have built — coords, labels, edge
+// probabilities and pairs bit-for-bit, optional fields present or absent
+// identically.
+func TestWriteJSONStreamDecodeEqual(t *testing.T) {
+	g := sampleGraph(t)
+	ps := pairs.MustNewSet(4, []pairs.Pair{{U: 0, W: 3}, {U: 1, W: 3}})
+
+	var buf bytes.Buffer
+	if err := WriteJSONStream(&buf, g, ps, 0.25, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("stream output failed to decode: %v\n%s", err, buf.Bytes())
+	}
+	want := FromGraph(g, ps, 0.25, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed document differs:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWriteJSONStreamOmitsEmpty checks the omitempty parity with
+// WriteJSON for a bare graph: no coords, no labels, no pairs, zero
+// threshold and budget.
+func TestWriteJSONStreamOmitsEmpty(t *testing.T) {
+	g, err := graph.NewBuilder(3).
+		AddEdge(0, 1, failprob.LengthFromProb(0.5)).
+		AddEdge(1, 2, failprob.LengthFromProb(0.5)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONStream(&buf, g, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"coords", "labels", "pairs", "failure_threshold", "budget"} {
+		if bytes.Contains(buf.Bytes(), []byte(field)) {
+			t.Errorf("empty field %q serialized: %s", field, buf.Bytes())
+		}
+	}
+	got, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := FromGraph(g, nil, 0, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed document differs:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWriteJSONStreamRejectsNonFinite: a NaN threshold must surface as a
+// *ValidationError, mirroring what ReadJSON would reject on the way back
+// in, instead of emitting JSON that no decoder accepts.
+func TestWriteJSONStreamRejectsNonFinite(t *testing.T) {
+	g := sampleGraph(t)
+	var buf bytes.Buffer
+	err := WriteJSONStream(&buf, g, nil, math.NaN(), 0)
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("NaN threshold: err = %v, want *ValidationError", err)
+	}
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("error %v does not unwrap to ErrInvalid", err)
+	}
+}

@@ -166,6 +166,46 @@ func SampleViolating(t shortestpath.DistanceSource, dt float64, m int, rng *xran
 	return NewSet(n, chosen)
 }
 
+// SampleViolatingRandom selects m distinct pairs violating dt by
+// rejection sampling point queries instead of enumerating all ~n²/2
+// candidates the way SampleViolating does: it draws uniform random pairs
+// and keeps those with Dist(u, w) > dt. Rejection sampling is uniform
+// over the accept set, so the distribution matches SampleViolating; only
+// the draw sequence differs. This is the scale path (10⁴–10⁶ nodes),
+// where it composes with BoundedTable: distances beyond the reach read
+// +Inf > dt, so one sparse row lookup answers each trial. It fails after
+// maxAttempts draws (0 means 1000·m) that fail to produce enough
+// distinct violating pairs — the regime where violating pairs are rare
+// and the exhaustive scan is the right tool.
+func SampleViolatingRandom(t shortestpath.DistanceSource, dt float64, m int, rng *xrand.Rand, maxAttempts int) (*Set, error) {
+	n := t.N()
+	if m <= 0 {
+		return nil, fmt.Errorf("pairs: need a positive sample size, got %d", m)
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = 1000 * m
+	}
+	seen := make(map[Pair]struct{}, m)
+	chosen := make([]Pair, 0, m)
+	for tries := 0; len(chosen) < m; tries++ {
+		if tries >= maxAttempts {
+			return nil, fmt.Errorf("pairs: found %d pairs violating d_t=%.4g in %d random draws, need %d", len(chosen), dt, maxAttempts, m)
+		}
+		p := New(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		if p.U == p.W {
+			continue
+		}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		if t.Dist(p.U, p.W) > dt {
+			seen[p] = struct{}{}
+			chosen = append(chosen, p)
+		}
+	}
+	return NewSet(n, chosen)
+}
+
 // SampleViolatingWithCommonNode selects m pairs that all contain the given
 // common node u and currently violate dt; for constructing MSC-CN
 // instances. It returns an error if fewer than m such pairs exist.

@@ -3,6 +3,7 @@ package pairs
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"msc/internal/graph"
@@ -112,6 +113,43 @@ func TestSampleViolatingInsufficient(t *testing.T) {
 	table := lineTable(t, 3)
 	if _, err := SampleViolating(table, 100, 1, xrand.New(1)); err == nil {
 		t.Fatal("expected error: no pair violates a huge threshold")
+	}
+}
+
+func TestSampleViolatingRandom(t *testing.T) {
+	table := lineTable(t, 12)
+	rng := xrand.New(3)
+	s, err := SampleViolatingRandom(table, 2.5, 6, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("sampled %d pairs, want 6", s.Len())
+	}
+	for _, p := range s.Pairs() {
+		if table.Dist(p.U, p.W) <= 2.5 {
+			t.Fatalf("pair %v does not violate", p)
+		}
+	}
+	// Deterministic: equal seeds reproduce the sample exactly.
+	again, err := SampleViolatingRandom(table, 2.5, 6, xrand.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Pairs(), again.Pairs()) {
+		t.Fatalf("same seed sampled %v then %v", s.Pairs(), again.Pairs())
+	}
+}
+
+func TestSampleViolatingRandomExhaustsAttempts(t *testing.T) {
+	table := lineTable(t, 6)
+	// No pair violates a huge threshold: the sampler must give up at
+	// maxAttempts instead of spinning forever.
+	if _, err := SampleViolatingRandom(table, 100, 2, xrand.New(1), 50); err == nil {
+		t.Fatal("expected error: no pair violates a huge threshold")
+	}
+	if _, err := SampleViolatingRandom(table, 2.5, 0, xrand.New(1), 0); err == nil {
+		t.Fatal("expected error: non-positive sample size")
 	}
 }
 

@@ -161,12 +161,16 @@ func (t *LazyTable) Row(u graph.NodeID) []float64 {
 	} else {
 		e = &lazyRow{}
 		sh.rows[u] = e
+		// Byte accounting is per resident entry: a dense row is 8·n bytes
+		// the moment its entry exists (the compute below fills it).
+		rowBytesResident.Add(int64(t.n) * 8)
 		if sh.pinned == nil || !sh.pinned[u] {
 			sh.fifo = append(sh.fifo, u)
 			for sh.cap >= 0 && len(sh.fifo) > sh.cap {
 				victim := sh.fifo[0]
 				sh.fifo = append(sh.fifo[:0], sh.fifo[1:]...)
 				delete(sh.rows, victim)
+				rowBytesResident.Add(int64(t.n) * -8)
 				t.evictions.Add(1)
 				telemetry.Global().RowCacheEvictions.Add(1)
 			}

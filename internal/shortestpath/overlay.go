@@ -97,6 +97,9 @@ func NewOverlay(table DistanceSource, shortcuts []graph.Edge) *Overlay {
 // Dist returns the shortest-path distance between u and w in G ∪ F.
 func (o *Overlay) Dist(u, w graph.NodeID) float64 {
 	telemetry.Global().OverlayQueries.Add(1)
+	if ss, ok := o.table.(SparseSource); ok {
+		return o.distSparse(ss, u, w)
+	}
 	// One Row call per endpoint: against a lazy backend every extra call
 	// is a cache lookup, so the base distance comes from u's row directly.
 	du := o.table.Row(u)
@@ -121,6 +124,33 @@ func (o *Overlay) Dist(u, w graph.NodeID) float64 {
 	return best
 }
 
+// distSparse is Dist against a sparse backend: the same minimization over
+// the same stored metric, but reading sparse rows so no dense row is ever
+// materialized (a BoundedTable keeps dense rows forever). Bit-identical
+// to the dense path — Row is defined as the scatter of SparseRow.
+func (o *Overlay) distSparse(ss SparseSource, u, w graph.NodeID) float64 {
+	du := ss.SparseRow(u)
+	best := du.At(w)
+	t := len(o.endpoints)
+	if t == 0 {
+		return best
+	}
+	dw := ss.SparseRow(w)
+	for i := 0; i < t; i++ {
+		dui := du.At(o.endpoints[i])
+		if dui >= best {
+			continue
+		}
+		hi := o.h[i]
+		for j := 0; j < t; j++ {
+			if d := dui + hi[j] + dw.At(o.endpoints[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
 // Endpoints returns the distinct shortcut endpoints the oracle covers.
 // Callers must not modify the returned slice.
 func (o *Overlay) Endpoints() []graph.NodeID { return o.endpoints }
@@ -130,6 +160,10 @@ func (o *Overlay) Endpoints() []graph.NodeID { return o.endpoints }
 // terminal's base distance row. len(out) must equal the node count.
 func (o *Overlay) DistRow(u graph.NodeID, out []float64) {
 	telemetry.Global().OverlayRows.Add(1)
+	if ss, ok := o.table.(SparseSource); ok {
+		o.distRowSparse(ss, u, out)
+		return
+	}
 	du := o.table.Row(u)
 	if len(out) != len(du) {
 		panic("shortestpath: DistRow output length mismatch")
@@ -160,6 +194,52 @@ func (o *Overlay) DistRow(u graph.NodeID, out []float64) {
 		for x := range out {
 			if d := ci + ti[x]; d < out[x] {
 				out[x] = d
+			}
+		}
+	}
+}
+
+// distRowSparse is DistRow against a sparse backend. The base row is an
+// +Inf fill plus a scatter of u's ball, and each terminal contributes a
+// scatter-min of its own ball — O(k² + k·ball) instead of O(k² + n·k),
+// and no dense row is materialized. Values equal the dense path exactly.
+func (o *Overlay) distRowSparse(ss SparseSource, u graph.NodeID, out []float64) {
+	if len(out) != ss.N() {
+		panic("shortestpath: DistRow output length mismatch")
+	}
+	inf := math.Inf(1)
+	for x := range out {
+		out[x] = inf
+	}
+	du := ss.SparseRow(u)
+	for i := 0; i < du.Len(); i++ {
+		id, d := du.Entry(i)
+		out[id] = d
+	}
+	t := len(o.endpoints)
+	if t == 0 {
+		return
+	}
+	c := make([]float64, t)
+	for i := 0; i < t; i++ {
+		best := du.At(o.endpoints[i])
+		for j := 0; j < t; j++ {
+			if d := du.At(o.endpoints[j]) + o.h[j][i]; d < best {
+				best = d
+			}
+		}
+		c[i] = best
+	}
+	for i := 0; i < t; i++ {
+		ci := c[i]
+		if math.IsInf(ci, 1) {
+			continue
+		}
+		ti := ss.SparseRow(o.endpoints[i])
+		for k := 0; k < ti.Len(); k++ {
+			id, d := ti.Entry(k)
+			if nd := ci + d; nd < out[id] {
+				out[id] = nd
 			}
 		}
 	}

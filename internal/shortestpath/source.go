@@ -3,7 +3,7 @@ package shortestpath
 import "msc/internal/graph"
 
 // DistanceSource abstracts read access to the all-pairs shortest-path
-// metric of a fixed graph. Two implementations exist:
+// metric of a fixed graph. Three implementations exist:
 //
 //   - Table materializes every row eagerly (n Dijkstras, n² float64s) and
 //     answers queries by plain indexing. Best when most rows will be
@@ -17,10 +17,23 @@ import "msc/internal/graph"
 //     evaluates, so instance-construction cost scales with the rows the
 //     solver actually uses instead of with n.
 //
+//   - BoundedTable computes rows with a Dijkstra bounded at a reach and
+//     stores them sparsely (sorted (node, float32) pairs); everything
+//     outside the reach-ball reads as +Inf. Best at 10⁵–10⁶ nodes, where
+//     even one dense row is significant and full-graph Dijkstras dominate
+//     the run. Its metric differs from the others in two declared ways:
+//     distances beyond the reach are reported as +Inf, and in-ball
+//     distances carry float32 quantization (≈1e-7 relative). Consumers
+//     that only compare distances against a threshold ≤ reach — the
+//     entire MSC objective — cannot observe the truncation; the
+//     quantization is accepted as the metric itself.
+//
 // Implementations must be safe for concurrent readers, and every method
 // must be deterministic: for the same graph, Dist and Row return
-// bit-identical values no matter the backend, the call order, or the
-// number of goroutines calling. The solver's determinism contract
+// bit-identical values no matter the call order or the number of
+// goroutines calling, and dense/lazy return bit-identical values to each
+// other (BoundedTable is deterministic too, but its values follow the
+// truncated, quantized metric above). The solver's determinism contract
 // (serial == parallel placements, PR 1) rests on that guarantee.
 type DistanceSource interface {
 	// N returns the number of nodes the source covers.
@@ -35,7 +48,24 @@ type DistanceSource interface {
 	Row(u graph.NodeID) []float64
 }
 
+// SparseSource is the optional extension a DistanceSource implements when
+// its rows are naturally sparse. Reach declares the truncation radius:
+// SparseRow entries within Reach are exact (up to float32 quantization),
+// everything absent is certified > Reach or unreachable. Consumers use it
+// to iterate only the ball instead of scanning n entries per row, and to
+// decide whether threshold comparisons against d_t ≤ Reach are safe.
+type SparseSource interface {
+	DistanceSource
+	// Reach returns the truncation radius rows were computed at.
+	Reach() float64
+	// SparseRow returns u's row in sparse form. Like Row, the result is
+	// immutable and stays valid for the caller's lifetime.
+	SparseRow(u graph.NodeID) SparseRow
+}
+
 var (
 	_ DistanceSource = (*Table)(nil)
 	_ DistanceSource = (*LazyTable)(nil)
+	_ DistanceSource = (*BoundedTable)(nil)
+	_ SparseSource   = (*BoundedTable)(nil)
 )

@@ -72,12 +72,14 @@ type Matrix struct {
 }
 
 // QuickMatrix is the smoke sweep CI runs on every push: 2 cardinality
-// budgets × 2 solvers × 2 survivability modes × 2 knapsack budgets (off and
-// B=2 unit-cost) × 3 seeds on a 40-node RGG, plus one whole-suite mscbench
-// experiment — under a hundred child runs, a few seconds end to end. The
-// survivable half gates the worst-case σ⁻ objective and the budgeted half
-// the knapsack objective against the same baseline discipline as the
-// fault-free cardinality runs.
+// budgets × 2 solvers × 2 distance backends (auto and forced bounded) ×
+// 2 survivability modes × 2 knapsack budgets (off and B=2 unit-cost) ×
+// 3 seeds on a 40-node RGG, plus one whole-suite mscbench experiment —
+// a couple hundred child runs, seconds end to end. The survivable half
+// gates the worst-case σ⁻ objective, the budgeted half the knapsack
+// objective, and the bounded half the sparse-backend equivalence (same σ
+// as auto at every scenario key), all against the same baseline
+// discipline as the fault-free cardinality runs.
 func QuickMatrix() Matrix {
 	return Matrix{
 		Families:     []string{"rgg"},
@@ -86,7 +88,7 @@ func QuickMatrix() Matrix {
 		Pt:           []float64{0.12},
 		K:            []int{2, 3},
 		Solvers:      []string{"greedy", "sandwich"},
-		DistBackends: []string{"auto"},
+		DistBackends: []string{"auto", "bounded"},
 		EvalModes:    []string{"auto"},
 		Survive:      []string{"none", "shortcut"},
 		Budget:       []float64{0, 2},
@@ -110,7 +112,7 @@ func (e *MatrixError) Error() string {
 var (
 	validFamilies = map[string]bool{"rgg": true, "social": true}
 	validSolvers  = map[string]bool{"sandwich": true, "greedy": true, "mu": true, "nu": true, "ea": true, "aea": true, "random": true, "cn": true}
-	validBackends = map[string]bool{"auto": true, "dense": true, "lazy": true}
+	validBackends = map[string]bool{"auto": true, "dense": true, "lazy": true, "bounded": true}
 	validEvals    = map[string]bool{"auto": true, "incremental": true, "rebuild": true}
 	validSurvive  = map[string]bool{"auto": true, "none": true, "shortcut": true, "node": true}
 )

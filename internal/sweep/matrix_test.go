@@ -10,17 +10,17 @@ func TestQuickMatrixExpands(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 k × 2 solvers × 2 survive × 2 budgets × 3 seeds place runs + 1
-	// experiment × 3 seeds.
-	if len(scs) != 51 {
-		t.Fatalf("quick matrix expands to %d runs, want 51", len(scs))
+	// 2 k × 2 solvers × 2 backends × 2 survive × 2 budgets × 3 seeds place
+	// runs + 1 experiment × 2 backends × 3 seeds.
+	if len(scs) != 102 {
+		t.Fatalf("quick matrix expands to %d runs, want 102", len(scs))
 	}
 	keys := make(map[string]int)
 	for _, sc := range scs {
 		keys[sc.Key()]++
 	}
-	if len(keys) != 17 {
-		t.Fatalf("quick matrix has %d scenario keys, want 17: %v", len(keys), keys)
+	if len(keys) != 34 {
+		t.Fatalf("quick matrix has %d scenario keys, want 34: %v", len(keys), keys)
 	}
 	for key, n := range keys {
 		if n != 3 {
@@ -43,6 +43,14 @@ func TestQuickMatrixExpands(t *testing.T) {
 	}
 	if _, ok := keys["bench/table1/quick/auto/auto/par1"]; !ok {
 		t.Errorf("expected canonical bench key missing: %v", keys)
+	}
+	// The forced-bounded half gets its own key segment, so bounded and
+	// auto trajectories gate independently.
+	if _, ok := keys["place/rgg/n40/m8/pt0.12/k2/greedy/bounded/auto/par1"]; !ok {
+		t.Errorf("expected bounded place key missing: %v", keys)
+	}
+	if _, ok := keys["bench/table1/quick/bounded/auto/par1"]; !ok {
+		t.Errorf("expected bounded bench key missing: %v", keys)
 	}
 }
 
@@ -179,7 +187,7 @@ func TestSocialFamilyCollapsesN(t *testing.T) {
 	}
 	// The social generator is fixed-size: the n axis must not fan
 	// identical runs under different keys.
-	want := 2 * 2 * 2 * 2 * 3 // k × solver × survive × budget × seeds
+	want := 2 * 2 * 2 * 2 * 2 * 3 // k × solver × backend × survive × budget × seeds
 	if len(scs) != want {
 		t.Fatalf("social family expanded to %d runs, want %d", len(scs), want)
 	}

@@ -58,6 +58,14 @@ type Counters struct {
 	// it could keep verbatim (no endpoint row changed).
 	PairsRescanned atomic.Int64
 	PairsSkipped   atomic.Int64
+	// CandidatesPruned counts candidate cells a pruned gains scan proved
+	// zero-gain without touching them: per scanned pair, the candidate
+	// universe minus the cells both of whose endpoints lie within d_t of
+	// a pair endpoint. Accumulated while the per-pair candidate lists are
+	// built — a serial step — so the total is identical at every worker
+	// count. Only sparse-backend (or very large) instances run pruned
+	// scans, so the total differs across distance backends.
+	CandidatesPruned atomic.Int64
 
 	// FailureScenariosEvaled counts single-failure scenario σ evaluations
 	// performed by the survivable objective (core σ⁻): one per scenario
@@ -95,10 +103,11 @@ type CounterSnapshot struct {
 	RowCacheComputes  int64 `json:"row_cache_computes"`
 	RowCacheEvictions int64 `json:"row_cache_evictions"`
 
-	RowsMerged     int64 `json:"rows_merged"`
-	RowsUnchanged  int64 `json:"rows_unchanged"`
-	PairsRescanned int64 `json:"pairs_rescanned"`
-	PairsSkipped   int64 `json:"pairs_skipped"`
+	RowsMerged       int64 `json:"rows_merged"`
+	RowsUnchanged    int64 `json:"rows_unchanged"`
+	PairsRescanned   int64 `json:"pairs_rescanned"`
+	PairsSkipped     int64 `json:"pairs_skipped"`
+	CandidatesPruned int64 `json:"candidates_pruned"`
 
 	FailureScenariosEvaled int64 `json:"failure_scenarios_evaled"`
 }
@@ -123,10 +132,11 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		RowCacheComputes:  c.RowCacheComputes.Load(),
 		RowCacheEvictions: c.RowCacheEvictions.Load(),
 
-		RowsMerged:     c.RowsMerged.Load(),
-		RowsUnchanged:  c.RowsUnchanged.Load(),
-		PairsRescanned: c.PairsRescanned.Load(),
-		PairsSkipped:   c.PairsSkipped.Load(),
+		RowsMerged:       c.RowsMerged.Load(),
+		RowsUnchanged:    c.RowsUnchanged.Load(),
+		PairsRescanned:   c.PairsRescanned.Load(),
+		PairsSkipped:     c.PairsSkipped.Load(),
+		CandidatesPruned: c.CandidatesPruned.Load(),
 
 		FailureScenariosEvaled: c.FailureScenariosEvaled.Load(),
 	}
@@ -152,15 +162,20 @@ func (c *Counters) Reset() {
 	c.RowsUnchanged.Store(0)
 	c.PairsRescanned.Store(0)
 	c.PairsSkipped.Store(0)
+	c.CandidatesPruned.Store(0)
 	c.FailureScenariosEvaled.Store(0)
 }
 
 // BackendInvariant returns a copy of the snapshot with every counter that
 // depends on the distance backend zeroed: Dijkstra runs and edge
-// relaxations (eager for a dense table, on-demand for a lazy one) and the
+// relaxations (eager for a dense table, on-demand for a lazy one), the
 // row-cache activity (dense tables never touch it; under a row cap it
-// also depends on goroutine interleaving). What remains is exactly the
-// solver work that must be identical across backends — the invariant the
+// also depends on goroutine interleaving), the merge row classification
+// (RowsMerged/RowsUnchanged look at stored distances beyond d_t, which a
+// bounded backend deliberately reports as +Inf where dense/lazy hold
+// finite values), and CandidatesPruned (only pruned scans bump it, and
+// only sparse backends run them). What remains is exactly the solver work
+// that must be identical across backends — the invariant the
 // backend-differential suite asserts.
 func (s CounterSnapshot) BackendInvariant() CounterSnapshot {
 	s.DijkstraRuns = 0
@@ -169,6 +184,9 @@ func (s CounterSnapshot) BackendInvariant() CounterSnapshot {
 	s.RowCacheMisses = 0
 	s.RowCacheComputes = 0
 	s.RowCacheEvictions = 0
+	s.RowsMerged = 0
+	s.RowsUnchanged = 0
+	s.CandidatesPruned = 0
 	return s
 }
 
@@ -191,10 +209,11 @@ func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
 		RowCacheComputes:  s.RowCacheComputes - prev.RowCacheComputes,
 		RowCacheEvictions: s.RowCacheEvictions - prev.RowCacheEvictions,
 
-		RowsMerged:     s.RowsMerged - prev.RowsMerged,
-		RowsUnchanged:  s.RowsUnchanged - prev.RowsUnchanged,
-		PairsRescanned: s.PairsRescanned - prev.PairsRescanned,
-		PairsSkipped:   s.PairsSkipped - prev.PairsSkipped,
+		RowsMerged:       s.RowsMerged - prev.RowsMerged,
+		RowsUnchanged:    s.RowsUnchanged - prev.RowsUnchanged,
+		PairsRescanned:   s.PairsRescanned - prev.PairsRescanned,
+		PairsSkipped:     s.PairsSkipped - prev.PairsSkipped,
+		CandidatesPruned: s.CandidatesPruned - prev.CandidatesPruned,
 
 		FailureScenariosEvaled: s.FailureScenariosEvaled - prev.FailureScenariosEvaled,
 	}

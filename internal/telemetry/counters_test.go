@@ -76,6 +76,9 @@ func TestBackendInvariantZeroesExactlyTheBackendFields(t *testing.T) {
 		"RowCacheMisses":    true,
 		"RowCacheComputes":  true,
 		"RowCacheEvictions": true,
+		"RowsMerged":        true,
+		"RowsUnchanged":     true,
+		"CandidatesPruned":  true,
 	}
 	sv, iv := reflect.ValueOf(s), reflect.ValueOf(inv)
 	for i := 0; i < sv.NumField(); i++ {

@@ -36,6 +36,8 @@ type RoundEvent struct {
 	Candidates int `json:"candidates"`
 	// Mu and Nu are the sandwich bounds of the incumbent selection, when
 	// the emitter computes them (GreedySigma rounds); both 0 otherwise.
+	// Both are -1 when the problem reports the coverage structures behind
+	// the bounds intractable (O(n²) candidate sets at million-node scale).
 	Mu float64 `json:"mu"`
 	Nu float64 `json:"nu"`
 	// ElapsedNS is the wall-clock time of the round.
@@ -156,7 +158,8 @@ type RunRecord struct {
 	// Workers is the resolved candidate-scan parallelism (0 = default).
 	Workers int `json:"workers"`
 	// DistBackend records the distance backend the run was launched with
-	// ("auto", "dense", "lazy"); "" for runs that predate the field.
+	// ("auto", "dense", "lazy", "bounded"); "" for runs that predate the
+	// field.
 	DistBackend string `json:"dist_backend"`
 	// EvalMode records the search evaluation mode the run was launched
 	// with ("auto", "incremental", "rebuild"); "" for runs that predate
@@ -191,6 +194,12 @@ type RunRecord struct {
 	SigmaWorst int `json:"sigma_worst"`
 	// WallMS is the run's wall-clock time in milliseconds.
 	WallMS float64 `json:"wall_ms"`
+	// RowBytesResident is the process-wide distance-row payload resident
+	// at emission time (lazy dense rows, bounded sparse rows, landmark
+	// potentials); 0 for runs that predate the field. Unlike the
+	// counters, it is a level, not a delta — the number behind the
+	// "bytes/row scales with the d_t-ball" claim.
+	RowBytesResident int64 `json:"row_bytes_resident"`
 	// ShardImbalance is the mean relative per-shard wall-time imbalance
 	// (max−min)/max over the run's timed candidate scans: 0 = perfectly
 	// balanced shards (and for runs without timed scans — EA/AEA rounds

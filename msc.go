@@ -81,8 +81,9 @@ type (
 	// Threshold is the connectivity requirement in both its probability
 	// (p_t) and distance (d_t) forms.
 	Threshold = failprob.Threshold
-	// DistanceSource abstracts shortest-path access: a dense DistanceTable
-	// or a LazyDistanceTable; InstanceOptions.Table accepts either.
+	// DistanceSource abstracts shortest-path access: a dense DistanceTable,
+	// a LazyDistanceTable, or a BoundedDistanceTable; InstanceOptions.Table
+	// accepts any of them.
 	DistanceSource = shortestpath.DistanceSource
 	// DistanceTable is an eagerly materialized all-pairs shortest-path
 	// table.
@@ -93,8 +94,21 @@ type (
 	LazyDistanceTable = shortestpath.LazyTable
 	// LazyTableOptions tune a LazyDistanceTable (row cap, shard count).
 	LazyTableOptions = shortestpath.LazyOptions
+	// BoundedDistanceTable computes bounded-reach Dijkstra rows on demand
+	// and stores them sparsely: per-row memory scales with the d_t-ball,
+	// not with n. Distances beyond the reach read +Inf — exact for any
+	// consumer that only compares distances against a threshold ≤ reach,
+	// which is all the MSC solvers ever do.
+	BoundedDistanceTable = shortestpath.BoundedTable
+	// BoundedTableOptions tune a BoundedDistanceTable (reach, row cap,
+	// shard count, ALT landmark count).
+	BoundedTableOptions = shortestpath.BoundedOptions
+	// SparseDistanceRow is a compact (node, distance) distance row as
+	// returned by BoundedDistanceTable.SparseRow; absent nodes read +Inf.
+	SparseDistanceRow = shortestpath.SparseRow
 	// DistBackend selects the distance backend an instance builds when no
-	// table is supplied: BackendAuto, BackendDense, or BackendLazy.
+	// table is supplied: BackendAuto, BackendDense, BackendLazy, or
+	// BackendBounded.
 	DistBackend = core.DistBackend
 	// EvalMode selects how searches maintain their state across Add
 	// commits: EvalIncremental or EvalRebuild.
@@ -173,14 +187,18 @@ const (
 )
 
 // Distance backends selectable via InstanceOptions.DistBackend. BackendAuto
-// (the zero value) picks dense below DefaultLazyThreshold nodes and lazy at
-// or above; placements and σ/μ/ν are identical across backends.
+// (the zero value) picks dense below DefaultLazyThreshold nodes, lazy from
+// there up to DefaultBoundedThreshold, and bounded at or above; placements
+// and σ/μ/ν are identical across backends.
 const (
-	BackendAuto  = core.BackendAuto
-	BackendDense = core.BackendDense
-	BackendLazy  = core.BackendLazy
-	// DefaultLazyThreshold is the BackendAuto node-count switchover.
+	BackendAuto    = core.BackendAuto
+	BackendDense   = core.BackendDense
+	BackendLazy    = core.BackendLazy
+	BackendBounded = core.BackendBounded
+	// DefaultLazyThreshold is the BackendAuto dense→lazy switchover.
 	DefaultLazyThreshold = core.DefaultLazyThreshold
+	// DefaultBoundedThreshold is the BackendAuto lazy→bounded switchover.
+	DefaultBoundedThreshold = core.DefaultBoundedThreshold
 )
 
 // Evaluation modes selectable via InstanceOptions.EvalMode. EvalModeAuto
@@ -281,13 +299,33 @@ func NewLazyDistanceTable(g *Graph, opts LazyTableOptions) *LazyDistanceTable {
 	return shortestpath.NewLazyTable(g, opts)
 }
 
+// NewBoundedDistanceTable wraps g in a bounded-reach sparse distance
+// source: rows hold only the nodes within opts.Reach of the source, and
+// everything beyond reads +Inf. Share it across instances whose d_t is at
+// most the reach via InstanceOptions.Table.
+func NewBoundedDistanceTable(g *Graph, opts BoundedTableOptions) (*BoundedDistanceTable, error) {
+	return shortestpath.NewBoundedTable(g, opts)
+}
+
+// RowBytesResident reports the bytes of distance-row payload currently
+// resident across every row cache in the process (lazy dense rows, bounded
+// sparse rows, materialized dense rows, landmark potentials) — the
+// msc_row_bytes_resident gauge as a plain value.
+func RowBytesResident() int64 { return shortestpath.RowBytesResident() }
+
 // SetDefaultDistBackend sets the distance backend used by instances built
 // with BackendAuto; BackendAuto restores the node-threshold rule. Wired to
 // the -dist-backend flag of mscplace and mscbench.
 func SetDefaultDistBackend(b DistBackend) { core.SetDefaultDistBackend(b) }
 
+// SetDefaultLandmarks sets the ALT landmark count bounded-backend
+// instances build when InstanceOptions.Landmarks is 0; 0 restores the
+// built-in default, negative disables landmarks. Wired to the -landmarks
+// flag of mscplace and mscbench.
+func SetDefaultLandmarks(k int) { core.SetDefaultLandmarks(k) }
+
 // ParseDistBackend validates a -dist-backend flag value ("auto", "dense",
-// "lazy").
+// "lazy", "bounded").
 func ParseDistBackend(s string) (DistBackend, error) { return core.ParseDistBackend(s) }
 
 // SetDefaultEvalMode sets the evaluation mode used by instances built with
@@ -352,6 +390,17 @@ func CandidateIndexFor(n int, e Edge) int { return core.CandidateIndexFor(n, e) 
 // (§VII-A3).
 func SampleViolatingPairs(t DistanceSource, thr Threshold, m int, rng *Rand) (*PairSet, error) {
 	return pairs.SampleViolating(t, thr.D, m, rng)
+}
+
+// SampleViolatingPairsRandom draws m distinct threshold-violating pairs
+// by rejection sampling point distance queries instead of enumerating
+// all ~n²/2 candidates — same uniform distribution over violating pairs
+// as SampleViolatingPairs, but each trial costs one Dist call, so it
+// composes with the lazy and bounded backends at 10⁴–10⁶ nodes. It fails
+// after 1000·m unproductive draws, the regime where violating pairs are
+// rare and the exhaustive sampler is the right tool.
+func SampleViolatingPairsRandom(t DistanceSource, thr Threshold, m int, rng *Rand) (*PairSet, error) {
+	return pairs.SampleViolatingRandom(t, thr.D, m, rng, 0)
 }
 
 // NewInstance validates and builds a single-topology MSC instance with

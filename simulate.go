@@ -52,6 +52,17 @@ func WriteInstanceJSON(w io.Writer, g *Graph, ps *PairSet, pt float64, k int) er
 	return graphio.WriteJSON(w, graphio.FromGraph(g, ps, pt, k))
 }
 
+// StreamInstanceJSON serializes a problem instance like WriteInstanceJSON
+// but streams straight from the graph through a buffered writer, never
+// materializing the document or a second copy of the edge set — the
+// writer for million-node instances, where the document detour alone
+// would need O(E) extra heap. The output is decode-equal to
+// WriteInstanceJSON's (ReadInstanceJSON yields the same document), not
+// byte-equal.
+func StreamInstanceJSON(w io.Writer, g *Graph, ps *PairSet, pt float64, k int) error {
+	return graphio.WriteJSONStream(w, g, ps, pt, k)
+}
+
 // ReadInstanceJSON deserializes a problem instance document.
 func ReadInstanceJSON(r io.Reader) (InstanceDocument, error) {
 	return graphio.ReadJSON(r)
